@@ -1,0 +1,106 @@
+// fmbench regenerates the paper's evaluation: every figure and table of
+// "Efficient Layering for High Speed Communication: Fast Messages 2.x"
+// (Lauria, Pakin, Chien — HPDC 1998), plus the ablation sweeps this
+// reproduction adds.
+//
+// Usage:
+//
+//	fmbench -all            # everything
+//	fmbench -fig 5          # one figure (1..6)
+//	fmbench -tables         # Tables 1 and 2 (API mapping)
+//	fmbench -headline       # the summary numbers for EXPERIMENTS.md
+//	fmbench -ablation       # design-choice ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/mpifm"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every figure, table, and summary")
+		fig      = flag.Int("fig", 0, "run one figure (1-6)")
+		tables   = flag.Bool("tables", false, "print Tables 1 and 2")
+		headline = flag.Bool("headline", false, "print the headline paper-vs-measured summary")
+		ablation = flag.Bool("ablation", false, "run the design-choice ablations")
+	)
+	flag.Parse()
+	w := os.Stdout
+
+	if !*all && *fig == 0 && !*tables && !*headline && !*ablation {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	figures := map[int]func(){
+		1: func() { bench.WriteFigure1(w) },
+		2: func() { bench.WriteFigure2(w) },
+		3: func() { bench.WriteFigure3(w) },
+		4: func() { bench.WriteFigure4(w) },
+		5: func() { bench.WriteFigure5(w) },
+		6: func() { bench.WriteFigure6(w) },
+	}
+
+	if *fig != 0 {
+		f, ok := figures[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fmbench: no figure %d\n", *fig)
+			os.Exit(2)
+		}
+		f()
+	}
+	if *all || *tables {
+		bench.WriteTable1(w)
+		fmt.Fprintln(w)
+		bench.WriteTable2(w)
+		fmt.Fprintln(w)
+	}
+	if *all {
+		for i := 1; i <= 6; i++ {
+			figures[i]()
+			fmt.Fprintln(w)
+		}
+	}
+	if *all || *headline {
+		fmt.Fprintln(w, "Headline reproduction summary (paper targets in parentheses):")
+		fmt.Fprintln(w, "  paper: FM1 17.6 MB/s, N1/2 54B, 14us | MPI-FM1 <=35% | FM2 77 MB/s, <256B, 11us | MPI-FM2 70 MB/s, 70->90%, 17us")
+		for _, r := range bench.Headline() {
+			bench.WriteResult(w, r)
+		}
+		fmt.Fprintln(w)
+	}
+	if *all || *ablation {
+		runAblations(w)
+	}
+}
+
+func runAblations(w *os.File) {
+	fmt.Fprintln(w, "Ablations (MPI-FM 2.0 streaming at 2048B unless noted):")
+	const size, msgs = 2048, 400
+	full := bench.MPI2AblationBandwidth(mpifm.FM2Options{}, size, msgs)
+	noGather := bench.MPI2AblationBandwidth(mpifm.FM2Options{NoGather: true}, size, msgs)
+	unpaced := bench.MPI2AblationBandwidth(mpifm.FM2Options{Unpaced: true}, size, msgs)
+	fmt.Fprintf(w, "  full FM 2.x services      %7.2f MB/s\n", full)
+	fmt.Fprintf(w, "  gather off (assembly copy) %6.2f MB/s  (%.0f%%)\n", noGather, 100*noGather/full)
+	fmt.Fprintf(w, "  receiver pacing off        %6.2f MB/s  (%.0f%%)\n", unpaced, 100*unpaced/full)
+
+	fmt.Fprintln(w, "  packet-size sweep (FM 2.x bandwidth, MB/s):")
+	mtus := []int{144, 272, 552, 1040, 1552}
+	sweep := bench.PacketSizeSweep(mtus, []int{64, 512, 2048})
+	fmt.Fprintf(w, "    %10s  %8s  %8s  %8s\n", "packet", "64B", "512B", "2048B")
+	for _, mtu := range mtus {
+		c := sweep[mtu]
+		fmt.Fprintf(w, "    %10d  %8.2f  %8.2f  %8.2f\n", mtu, c.At(64), c.At(512), c.At(2048))
+	}
+
+	fmt.Fprintln(w, "  credit-window sweep (FM 2.x at 2048B, MB/s):")
+	cw := bench.CreditWindowSweep([]int{1, 2, 4, 8, 16, 32}, 2048)
+	for _, pt := range cw {
+		fmt.Fprintf(w, "    window %3d  %8.2f\n", pt.Size, pt.MBps)
+	}
+}

@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of "Efficient Layering
+// for High Speed Communication: Fast Messages 2.x" (Lauria, Pakin, Chien —
+// HPDC-7, 1998).
+//
+// The root package holds only the benchmark harness entry points
+// (bench_test.go); the system lives under internal/:
+//
+//   - internal/sim        deterministic discrete-event kernel
+//   - internal/netsim     Myrinet fabric model
+//   - internal/hostmodel  machine cost profiles (sparc, ppro200)
+//   - internal/lanai      NIC model
+//   - internal/fm1        Fast Messages 1.x
+//   - internal/fm2        Fast Messages 2.x (the paper's contribution)
+//   - internal/mpifm      MPI over both FM generations
+//   - internal/sockfm     Sockets-FM
+//   - internal/shmem      one-sided Put/Get
+//   - internal/garr       Global Arrays
+//   - internal/bench      figure/table regeneration harness
+//
+// See README.md, DESIGN.md, and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,72 @@
+// MPI-FM example: a four-rank ring exchange followed by a two-rank
+// bandwidth sweep, run over both FM generations to show the interface
+// efficiency gap the paper measures (Figures 4 and 6).
+//
+//	go run ./examples/mpi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/fm2"
+	"repro/internal/hostmodel"
+	"repro/internal/mpifm"
+	"repro/internal/sim"
+)
+
+func ringExchange() {
+	k := sim.NewKernel()
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Profile = hostmodel.PPro200()
+	pl := cluster.New(k, cfg)
+	comms := mpifm.AttachFM2(pl, fm2.Config{}, mpifm.PProOverheads(), true)
+
+	fmt.Println("ring exchange, 4 ranks:")
+	for r := 0; r < 4; r++ {
+		r := r
+		k.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			c := comms[r]
+			right := (r + 1) % c.Size()
+			left := (r + c.Size() - 1) % c.Size()
+			buf := make([]byte, 8)
+			req, err := c.Irecv(p, buf, left, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			msg := []byte(fmt.Sprintf("from %d !", r))
+			if err := c.Send(p, msg, right, 1); err != nil {
+				log.Fatal(err)
+			}
+			st := c.Wait(p, req)
+			fmt.Printf("  rank %d got %q from rank %d at %s\n", r, buf[:st.Len], st.Source, p.Now())
+			if err := c.Barrier(p); err != nil {
+				log.Fatal(err)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func bandwidthSweep() {
+	fmt.Println("\nMPI bandwidth sweep (streaming, rank0 -> rank1):")
+	fmt.Printf("  %8s  %14s  %14s\n", "size", "MPI/FM1 (MB/s)", "MPI/FM2 (MB/s)")
+	for _, size := range []int{16, 128, 1024, 2048} {
+		msgs := 400
+		b1 := bench.MPIBandwidth(bench.MPI1, size, msgs)
+		b2 := bench.MPIBandwidth(bench.MPI2, size, msgs)
+		fmt.Printf("  %8d  %14.2f  %14.2f\n", size, b1, b2)
+	}
+	fmt.Println("  (the gap is the paper's interface-efficiency story: the same MPI")
+	fmt.Println("   code delivers a far larger share of FM 2.x's bandwidth)")
+}
+
+func main() {
+	ringExchange()
+	bandwidthSweep()
+}

@@ -1,0 +1,91 @@
+// Sockets-FM example: a tiny request/response service over stream sockets
+// layered on FM 2.x — the Berkeley sockets personality the paper layers on
+// FM (§3.2, §4.2).
+//
+//	go run ./examples/sockets
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/fm2"
+	"repro/internal/sim"
+	"repro/internal/sockfm"
+)
+
+func main() {
+	k := sim.NewKernel()
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 3
+	pl := cluster.New(k, cfg)
+	eps := fm2.Attach(pl, fm2.Config{})
+	stacks := make([]*sockfm.Stack, 3)
+	for i := range stacks {
+		stacks[i] = sockfm.NewStack(eps[i])
+	}
+
+	const port = 7 // echo-with-a-twist
+	k.Spawn("server", func(p *sim.Proc) {
+		l, err := stacks[0].Listen(port)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 2; i++ { // serve two clients
+			conn, err := l.Accept(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			buf := make([]byte, 256)
+			for {
+				n, err := conn.Read(p, buf)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				reply := strings.ToUpper(string(buf[:n]))
+				if _, err := conn.Write(p, []byte(reply)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			conn.Close(p)
+			fmt.Printf("[%8s] server: client from node %d served (direct %dB, pooled %dB)\n",
+				p.Now(), conn.PeerNode(), conn.DirectBytes, conn.PooledBytes)
+		}
+	})
+
+	for c := 1; c <= 2; c++ {
+		c := c
+		k.Spawn(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
+			p.Delay(sim.Time(c*20) * sim.Microsecond)
+			conn, err := stacks[c].Dial(p, 0, port)
+			if err != nil {
+				log.Fatal(err)
+			}
+			msg := fmt.Sprintf("hello from node %d over fast messages", c)
+			if _, err := conn.Write(p, []byte(msg)); err != nil {
+				log.Fatal(err)
+			}
+			buf := make([]byte, 256)
+			got := 0
+			for got < len(msg) {
+				n, err := conn.Read(p, buf[got:])
+				if err != nil {
+					log.Fatal(err)
+				}
+				got += n
+			}
+			fmt.Printf("[%8s] client%d: reply %q\n", p.Now(), c, buf[:got])
+			conn.Close(p)
+		})
+	}
+
+	if err := k.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

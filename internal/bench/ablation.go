@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fm2"
+	"repro/internal/mpifm"
+	"repro/internal/sim"
+)
+
+// Ablation drivers: price each FM 2.x design choice (DESIGN.md §5) by
+// turning it off and re-running the Figure 6 bandwidth measurement.
+
+// MPI2AblationBandwidth measures streaming MPI-FM 2.0 bandwidth with the
+// given service selection.
+func MPI2AblationBandwidth(opt mpifm.FM2Options, size, msgs int) float64 {
+	k := sim.NewKernel()
+	pl := cluster.New(k, cluster.DefaultConfig())
+	comms := mpifm.AttachFM2Opt(pl, fm2.Config{}, mpifm.PProOverheads(), opt)
+	return runMPIStream(k, comms, size, msgs)
+}
+
+// runMPIStream is the shared streaming-bandwidth body.
+func runMPIStream(k *sim.Kernel, comms []*mpifm.Comm, size, msgs int) float64 {
+	var start, end sim.Time
+	k.Spawn("rank0", func(p *sim.Proc) {
+		start = p.Now()
+		msg := make([]byte, size)
+		for i := 0; i < msgs; i++ {
+			if err := comms[0].Send(p, msg, 1, 1); err != nil {
+				panic(err)
+			}
+		}
+	})
+	k.Spawn("rank1", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		for i := 0; i < msgs; i++ {
+			if _, err := comms[1].Recv(p, buf, 0, 1); err != nil {
+				panic(err)
+			}
+		}
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		panic(fmt.Sprintf("bench: ablation stream: %v", err))
+	}
+	return Elapsed(int64(size)*int64(msgs), end-start)
+}
+
+// PacketSizeSweep measures FM 2.x bandwidth and N1/2 across packet MTUs:
+// the packetization design-point ablation.
+func PacketSizeSweep(mtus []int, sizes []int) map[int]Curve {
+	out := make(map[int]Curve)
+	for _, mtu := range mtus {
+		o := DefaultFM2Options()
+		o.Profile.PacketMTU = mtu
+		out[mtu] = FM2Curve(o, sizes)
+	}
+	return out
+}
+
+// CreditWindowSweep measures FM 2.x peak bandwidth across flow-control
+// window sizes: too small a window throttles the pipeline.
+func CreditWindowSweep(windows []int, size int) Curve {
+	c := Curve{}
+	for _, w := range windows {
+		o := DefaultFM2Options()
+		o.Profile.CreditWindow = w
+		c = append(c, Point{w, FM2Bandwidth(o, size, MsgsFor(size))})
+	}
+	return c
+}

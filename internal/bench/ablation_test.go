@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/mpifm"
+)
+
+func TestAblationGatherMatters(t *testing.T) {
+	// Turning gather off re-creates the FM 1.x assembly copy; large-message
+	// bandwidth must drop measurably.
+	const size, msgs = 2048, 300
+	with := MPI2AblationBandwidth(mpifm.FM2Options{}, size, msgs)
+	without := MPI2AblationBandwidth(mpifm.FM2Options{NoGather: true}, size, msgs)
+	if without >= with {
+		t.Fatalf("no-gather %.2f >= gather %.2f MB/s", without, with)
+	}
+	if without > with*0.92 {
+		t.Errorf("gather worth only %.1f%%; expected a visible assembly-copy cost",
+			100*(1-without/with))
+	}
+}
+
+func TestAblationPacingMatters(t *testing.T) {
+	// Without receiver flow control, arrivals overrun the posted receive
+	// and take the pool path: more copies, less bandwidth.
+	const size, msgs = 2048, 300
+	paced := MPI2AblationBandwidth(mpifm.FM2Options{}, size, msgs)
+	unpaced := MPI2AblationBandwidth(mpifm.FM2Options{Unpaced: true}, size, msgs)
+	if unpaced >= paced {
+		t.Fatalf("unpaced %.2f >= paced %.2f MB/s", unpaced, paced)
+	}
+}
+
+func TestAblationPacketSize(t *testing.T) {
+	sweep := PacketSizeSweep([]int{144, 552, 1040}, []int{64, 2048})
+	// Small packets cap large-message bandwidth (per-packet overhead).
+	if sweep[144].At(2048) >= sweep[552].At(2048) {
+		t.Errorf("128B packets %.2f should be slower than 536B packets %.2f at 2KB",
+			sweep[144].At(2048), sweep[552].At(2048))
+	}
+	// Large packets do not help short messages.
+	small144, small1040 := sweep[144].At(64), sweep[1040].At(64)
+	if small1040 > small144*1.3 {
+		t.Errorf("64B msgs: 1KB packets %.2f vs 128B packets %.2f — packet size should not matter much",
+			small1040, small144)
+	}
+}
+
+func TestAblationCreditWindow(t *testing.T) {
+	c := CreditWindowSweep([]int{1, 2, 8, 32}, 2048)
+	// A 1-packet window serializes the pipeline; bandwidth must recover as
+	// the window grows.
+	if c.At(1) >= c.At(32)*0.8 {
+		t.Errorf("window=1 gives %.2f, window=32 gives %.2f: expected throttling",
+			c.At(1), c.At(32))
+	}
+	if c.At(8) <= c.At(1) {
+		t.Errorf("bandwidth should grow with window: w8 %.2f <= w1 %.2f", c.At(8), c.At(1))
+	}
+}

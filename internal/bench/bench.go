@@ -1,0 +1,153 @@
+// Package bench provides the measurement harness for reproducing the
+// paper's evaluation: streaming bandwidth drivers, ping-pong latency
+// drivers, N1/2 (half-power message size) computation, and table rendering
+// in the shape of the paper's figures.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Point is one (message size, bandwidth) sample.
+type Point struct {
+	Size int
+	MBps float64
+}
+
+// Curve is a bandwidth-vs-size series, ordered by size.
+type Curve []Point
+
+// Peak reports the maximum bandwidth on the curve.
+func (c Curve) Peak() float64 {
+	p := 0.0
+	for _, pt := range c {
+		if pt.MBps > p {
+			p = pt.MBps
+		}
+	}
+	return p
+}
+
+// At reports the bandwidth at exactly the given size (0 if absent).
+func (c Curve) At(size int) float64 {
+	for _, pt := range c {
+		if pt.Size == size {
+			return pt.MBps
+		}
+	}
+	return 0
+}
+
+// NHalf reports the half-power message size N1/2: the size at which the
+// curve reaches half its peak bandwidth, interpolating linearly between
+// samples. It returns 0 if the first sample is already above half peak and
+// -1 if the curve never reaches half peak.
+func (c Curve) NHalf() int {
+	if len(c) == 0 {
+		return -1
+	}
+	sorted := append(Curve(nil), c...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Size < sorted[j].Size })
+	half := sorted.Peak() / 2
+	if sorted[0].MBps >= half {
+		return 0
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].MBps >= half {
+			lo, hi := sorted[i-1], sorted[i]
+			frac := (half - lo.MBps) / (hi.MBps - lo.MBps)
+			return lo.Size + int(frac*float64(hi.Size-lo.Size))
+		}
+	}
+	return -1
+}
+
+// Efficiency returns, per size, 100 * num/den — the paper's "% Efficiency"
+// panels (Figures 4b, 6b). Sizes present in num but not den are skipped.
+func Efficiency(num, den Curve) Curve {
+	out := Curve{}
+	for _, n := range num {
+		d := den.At(n.Size)
+		if d > 0 {
+			out = append(out, Point{n.Size, 100 * n.MBps / d})
+		}
+	}
+	return out
+}
+
+// StdSizes is the message-size sweep used by the paper's bandwidth figures.
+var StdSizes = []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+
+// ShortSizes is the sweep of Figure 3 (FM 1.x, 16-512 bytes).
+var ShortSizes = []int{16, 32, 64, 128, 256, 512}
+
+// MsgsFor picks a message count for a streaming test: enough bytes to
+// amortize pipeline fill, bounded to keep simulations fast.
+func MsgsFor(size int) int {
+	const targetBytes = 1 << 19
+	n := targetBytes / size
+	if n < 200 {
+		n = 200
+	}
+	if n > 8000 {
+		n = 8000
+	}
+	return n
+}
+
+// WriteCurve renders a curve as an aligned two-column table.
+func WriteCurve(w io.Writer, title, unit string, c Curve) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "  %8s  %12s\n", "Msg Size", unit)
+	for _, pt := range c {
+		fmt.Fprintf(w, "  %8d  %12.2f\n", pt.Size, pt.MBps)
+	}
+}
+
+// WriteSeries renders several curves side by side over a shared size sweep.
+func WriteSeries(w io.Writer, title string, names []string, curves []Curve) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "  %8s", "Msg Size")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %12s", n)
+	}
+	fmt.Fprintln(w)
+	if len(curves) == 0 || len(curves[0]) == 0 {
+		return
+	}
+	for i := range curves[0] {
+		fmt.Fprintf(w, "  %8d", curves[0][i].Size)
+		for _, c := range curves {
+			if i < len(c) {
+				fmt.Fprintf(w, "  %12.2f", c[i].MBps)
+			} else {
+				fmt.Fprintf(w, "  %12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Result bundles one experiment's headline numbers for EXPERIMENTS.md.
+type Result struct {
+	Name      string
+	PeakMBps  float64
+	NHalf     int
+	LatencyUS float64
+}
+
+// WriteResult renders a Result.
+func WriteResult(w io.Writer, r Result) {
+	fmt.Fprintf(w, "%-24s peak %7.2f MB/s   N1/2 %5d B", r.Name, r.PeakMBps, r.NHalf)
+	if r.LatencyUS > 0 {
+		fmt.Fprintf(w, "   latency %6.2f us", r.LatencyUS)
+	}
+	fmt.Fprintln(w)
+}
+
+// Elapsed converts a byte count and virtual duration into MB/s.
+func Elapsed(bytes int64, d sim.Time) float64 { return sim.MBps(bytes, d) }

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fm1"
+	"repro/internal/fm2"
+	"repro/internal/mpifm"
+	"repro/internal/sim"
+)
+
+// MPIGen selects which MPI-FM binding a driver runs.
+type MPIGen int
+
+const (
+	// MPI1 is MPI over FM 1.x on the Sparc machine (Figure 4).
+	MPI1 MPIGen = iota
+	// MPI2 is MPI-FM 2.0 over FM 2.x on the PPro machine (Figure 6).
+	MPI2
+	// MPI2Unpaced is MPI over FM 2.x with receiver flow control unused
+	// (ablation: Extract drains everything, re-creating pool traffic).
+	MPI2Unpaced
+)
+
+func (g MPIGen) attach(k *sim.Kernel) []*mpifm.Comm {
+	switch g {
+	case MPI1:
+		o := DefaultFM1Options()
+		cfg := cluster.DefaultConfig()
+		cfg.Profile = o.Profile
+		pl := cluster.New(k, cfg)
+		return mpifm.AttachFM1(pl, fm1.Config{}, mpifm.SparcOverheads())
+	case MPI2, MPI2Unpaced:
+		pl := cluster.New(k, cluster.DefaultConfig())
+		return mpifm.AttachFM2(pl, fm2.Config{}, mpifm.PProOverheads(), g == MPI2)
+	}
+	panic(fmt.Sprintf("bench: unknown MPI generation %d", g))
+}
+
+// MPIBandwidth measures streaming MPI bandwidth rank0 -> rank1 at one
+// message size: the measurement behind Figures 4a and 6a. The receiver
+// posts each receive then waits, the standard MPI bandwidth-test loop.
+func MPIBandwidth(g MPIGen, size, msgs int) float64 {
+	k := sim.NewKernel()
+	comms := g.attach(k)
+	var start, end sim.Time
+	k.Spawn("rank0", func(p *sim.Proc) {
+		start = p.Now()
+		msg := make([]byte, size)
+		for i := 0; i < msgs; i++ {
+			if err := comms[0].Send(p, msg, 1, 1); err != nil {
+				panic(err)
+			}
+		}
+	})
+	k.Spawn("rank1", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		for i := 0; i < msgs; i++ {
+			if _, err := comms[1].Recv(p, buf, 0, 1); err != nil {
+				panic(err)
+			}
+		}
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		panic(fmt.Sprintf("bench: mpi bandwidth size %d: %v", size, err))
+	}
+	return Elapsed(int64(size)*int64(msgs), end-start)
+}
+
+// MPICurve sweeps MPIBandwidth over sizes.
+func MPICurve(g MPIGen, sizes []int) Curve {
+	c := Curve{}
+	for _, s := range sizes {
+		c = append(c, Point{s, MPIBandwidth(g, s, MsgsFor(s))})
+	}
+	return c
+}
+
+// MPILatency measures one-way latency by MPI ping-pong.
+func MPILatency(g MPIGen, size, iters int) sim.Time {
+	k := sim.NewKernel()
+	comms := g.attach(k)
+	var rtt sim.Time
+	k.Spawn("rank0", func(p *sim.Proc) {
+		msg := make([]byte, size)
+		buf := make([]byte, size)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			if err := comms[0].Send(p, msg, 1, 1); err != nil {
+				panic(err)
+			}
+			if _, err := comms[0].Recv(p, buf, 1, 1); err != nil {
+				panic(err)
+			}
+		}
+		rtt = (p.Now() - start) / sim.Time(iters)
+	})
+	k.Spawn("rank1", func(p *sim.Proc) {
+		msg := make([]byte, size)
+		buf := make([]byte, size)
+		for i := 0; i < iters; i++ {
+			if _, err := comms[1].Recv(p, buf, 0, 1); err != nil {
+				panic(err)
+			}
+			if err := comms[1].Send(p, msg, 0, 1); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(fmt.Sprintf("bench: mpi latency: %v", err))
+	}
+	return rtt / 2
+}

@@ -1,0 +1,90 @@
+// Package cluster assembles complete simulated machines: hosts, NICs, and
+// the Myrinet fabric wiring them together. Both FM generations and every
+// benchmark build on a Platform.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/hostmodel"
+	"repro/internal/lanai"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Topology selects how nodes are wired.
+type Topology int
+
+const (
+	// DirectPair wires exactly two nodes back to back (microbenchmarks).
+	DirectPair Topology = iota
+	// SingleSwitch hangs all nodes off one crossbar (the usual cluster).
+	SingleSwitch
+	// Line chains switches with two hosts each (multi-hop experiments).
+	Line
+)
+
+// Config describes a Platform.
+type Config struct {
+	Nodes       int
+	Profile     hostmodel.Profile
+	NIC         lanai.Config
+	Topology    Topology
+	SwitchDelay sim.Time // per-hop routing delay for switched topologies
+}
+
+// DefaultConfig is a two-node PPro-era cluster on one switch.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:       2,
+		Profile:     hostmodel.PPro200(),
+		NIC:         lanai.DefaultConfig(),
+		Topology:    SingleSwitch,
+		SwitchDelay: 300 * sim.Nanosecond,
+	}
+}
+
+// Platform is an assembled cluster ready for a messaging layer.
+type Platform struct {
+	K     *sim.Kernel
+	Cfg   Config
+	Net   *netsim.Network
+	Hosts []*hostmodel.Host
+	NICs  []*lanai.NIC
+}
+
+// New builds and starts a Platform on the given kernel.
+func New(k *sim.Kernel, cfg Config) *Platform {
+	if cfg.Nodes < 2 {
+		panic("cluster: need at least 2 nodes")
+	}
+	var net *netsim.Network
+	switch cfg.Topology {
+	case DirectPair:
+		if cfg.Nodes != 2 {
+			panic("cluster: DirectPair requires exactly 2 nodes")
+		}
+		net = netsim.NewDirectPair(k, cfg.Profile.Link)
+	case SingleSwitch:
+		net = netsim.NewSingleSwitch(k, cfg.Nodes, cfg.Profile.Link, cfg.SwitchDelay)
+	case Line:
+		if cfg.Nodes%2 != 0 {
+			panic("cluster: Line requires an even node count")
+		}
+		net = netsim.NewLine(k, cfg.Nodes/2, 2, cfg.Profile.Link, cfg.SwitchDelay)
+	default:
+		panic(fmt.Sprintf("cluster: unknown topology %d", cfg.Topology))
+	}
+	pl := &Platform{K: k, Cfg: cfg, Net: net}
+	for i := 0; i < cfg.Nodes; i++ {
+		h := hostmodel.NewHost(k, i, cfg.Profile)
+		nic := lanai.New(h, net.Iface(i), cfg.NIC)
+		nic.Start()
+		pl.Hosts = append(pl.Hosts, h)
+		pl.NICs = append(pl.NICs, nic)
+	}
+	return pl
+}
+
+// Nodes reports the node count.
+func (pl *Platform) Nodes() int { return len(pl.Hosts) }

@@ -1,0 +1,91 @@
+// Package flowctl implements the sender-side credit accounting shared by
+// FM 1.x and FM 2.x. Each sender holds a window of packet credits per
+// destination, sized so that the receiver's pinned ring can never overflow;
+// the receiver returns credits in batches as Extract frees ring slots.
+// This is the "flow control and buffer management are all Myrinet needs for
+// reliable, in-order delivery" design of paper §3.1.
+package flowctl
+
+// Manager tracks credits for one endpoint in a cluster of n nodes.
+type Manager struct {
+	window int
+	avail  []int // credits we hold toward each destination
+	freed  []int // ring slots freed per source, not yet returned
+	// Counters for tests and benches.
+	CreditsSent  int64
+	CreditsRecvd int64
+}
+
+// New creates a Manager for node self in an n-node cluster. window is the
+// per-destination credit window in packets; ringSlots bounds the sum of all
+// windows directed at this node so the ring cannot overflow.
+func New(n, self, window, ringSlots int) *Manager {
+	if n > 1 && window*(n-1) > ringSlots {
+		window = ringSlots / (n - 1)
+	}
+	if window < 1 {
+		window = 1
+	}
+	m := &Manager{window: window, avail: make([]int, n), freed: make([]int, n)}
+	for i := range m.avail {
+		if i != self {
+			m.avail[i] = window
+		}
+	}
+	return m
+}
+
+// Window reports the effective per-destination window.
+func (m *Manager) Window() int { return m.window }
+
+// Available reports current credits toward dst.
+func (m *Manager) Available(dst int) int { return m.avail[dst] }
+
+// Consume takes one credit toward dst; it reports false when none remain
+// (the caller must then service control traffic and retry).
+func (m *Manager) Consume(dst int) bool {
+	if m.avail[dst] <= 0 {
+		return false
+	}
+	m.avail[dst]--
+	return true
+}
+
+// Refill adds n returned credits toward dst (a credit packet arrived).
+func (m *Manager) Refill(dst, n int) {
+	m.avail[dst] += n
+	m.CreditsRecvd += int64(n)
+	if m.avail[dst] > m.window {
+		panic("flowctl: credit overflow — receiver returned more slots than the window")
+	}
+}
+
+// NoteFreed records that one ring slot holding a packet from src was freed
+// by Extract. It reports (count, true) when a credit-return packet should
+// be sent now — at half-window granularity, amortizing return traffic.
+func (m *Manager) NoteFreed(src int) (int, bool) {
+	m.freed[src]++
+	if m.freed[src] >= (m.window+1)/2 {
+		n := m.freed[src]
+		m.freed[src] = 0
+		m.CreditsSent += int64(n)
+		return n, true
+	}
+	return 0, false
+}
+
+// FlushFreed forces a credit return for src regardless of threshold (used
+// at quiesce points so senders are never starved by a partial batch).
+func (m *Manager) FlushFreed(src int) (int, bool) {
+	if m.freed[src] == 0 {
+		return 0, false
+	}
+	n := m.freed[src]
+	m.freed[src] = 0
+	m.CreditsSent += int64(n)
+	return n, true
+}
+
+// Outstanding reports packets in flight toward dst (window minus credits) —
+// the invariant checked by flow-control tests.
+func (m *Manager) Outstanding(dst int) int { return m.window - m.avail[dst] }

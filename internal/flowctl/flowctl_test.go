@@ -1,0 +1,111 @@
+package flowctl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowShrinksToRing(t *testing.T) {
+	m := New(9, 0, 32, 64) // 8 peers, 64 slots -> window 8
+	if m.Window() != 8 {
+		t.Fatalf("window %d, want 8", m.Window())
+	}
+}
+
+func TestWindowAtLeastOne(t *testing.T) {
+	m := New(100, 0, 32, 10)
+	if m.Window() != 1 {
+		t.Fatalf("window %d, want 1", m.Window())
+	}
+}
+
+func TestConsumeExhausts(t *testing.T) {
+	m := New(2, 0, 4, 64)
+	for i := 0; i < 4; i++ {
+		if !m.Consume(1) {
+			t.Fatalf("consume %d failed", i)
+		}
+	}
+	if m.Consume(1) {
+		t.Fatal("consumed beyond window")
+	}
+	if m.Outstanding(1) != 4 {
+		t.Fatalf("outstanding %d, want 4", m.Outstanding(1))
+	}
+	m.Refill(1, 2)
+	if !m.Consume(1) {
+		t.Fatal("consume after refill failed")
+	}
+}
+
+func TestRefillOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-refill did not panic")
+		}
+	}()
+	m := New(2, 0, 4, 64)
+	m.Refill(1, 5)
+}
+
+func TestNoteFreedBatchesAtHalfWindow(t *testing.T) {
+	m := New(2, 1, 8, 64)
+	for i := 0; i < 3; i++ {
+		if n, due := m.NoteFreed(0); due {
+			t.Fatalf("credit return due after %d freed (%d)", i+1, n)
+		}
+	}
+	n, due := m.NoteFreed(0)
+	if !due || n != 4 {
+		t.Fatalf("got (%d,%v), want (4,true)", n, due)
+	}
+	// Counter reset.
+	if n, due := m.NoteFreed(0); due {
+		t.Fatalf("due again immediately (%d)", n)
+	}
+}
+
+func TestFlushFreed(t *testing.T) {
+	m := New(2, 1, 8, 64)
+	if _, due := m.FlushFreed(0); due {
+		t.Fatal("flush with nothing freed reported due")
+	}
+	m.NoteFreed(0)
+	n, due := m.FlushFreed(0)
+	if !due || n != 1 {
+		t.Fatalf("got (%d,%v), want (1,true)", n, due)
+	}
+}
+
+// Property: under any interleaving of consumes and batched returns, credits
+// never go negative and conservation holds: consumed = refilled + held-out.
+func TestPropertyConservation(t *testing.T) {
+	f := func(ops []bool) bool {
+		m := New(2, 0, 8, 64)
+		recv := New(2, 1, 8, 64)
+		inFlight := 0 // packets sent, not yet freed at receiver
+		for _, send := range ops {
+			if send {
+				if m.Consume(1) {
+					inFlight++
+				}
+			} else if inFlight > 0 {
+				inFlight--
+				if n, due := recv.NoteFreed(0); due {
+					m.Refill(1, n)
+				}
+			}
+			if m.Available(1) < 0 || m.Available(1) > m.Window() {
+				return false
+			}
+			if m.Outstanding(1) < inFlight {
+				// Outstanding must cover everything unfreed or unreturned.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package fm1 implements Illinois Fast Messages 1.1 (paper §3, Table 1):
+//
+//	FM_send_4(dest, handler, i0..i3)  -> Endpoint.Send4
+//	FM_send(dest, handler, buf, size) -> Endpoint.Send
+//	FM_extract()                      -> Endpoint.Extract
+//
+// FM 1.x provides reliable, in-order delivery with sender flow control and
+// buffer management on top of the Myrinet properties (low error rate,
+// deterministic routing, link back-pressure). Its API limitation — messages
+// are single contiguous buffers, presented whole to handlers from a staging
+// area — is exactly what FM 2.x later fixes, and what the Figure 4
+// experiments quantify.
+//
+// Endpoints are single-threaded, like the real library: exactly one Proc
+// per node may call Send*/Extract.
+package fm1
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/flowctl"
+	"repro/internal/hostmodel"
+	"repro/internal/lanai"
+	"repro/internal/sim"
+)
+
+// HandlerID names a registered message handler, carried in every packet.
+type HandlerID uint16
+
+// Handler processes a received message. data is valid only for the duration
+// of the call (it aliases FM buffers), matching the real API's contract.
+// The Proc is the extracting Proc: handler time is charged to the host CPU.
+type Handler func(p *sim.Proc, src int, data []byte)
+
+// Config selects which FM 1.x engine stages are active. The zero value is
+// the full protocol; benches for Figure 3a turn stages off.
+type Config struct {
+	// DisableFlowControl removes credit accounting (stage "link/bus only").
+	DisableFlowControl bool
+	// DisableBufferMgmt removes staging-copy charges for multi-packet
+	// reassembly (stages before the final engine in Figure 3).
+	DisableBufferMgmt bool
+	// MaxMessage bounds FM_send size; 0 means the 1 MiB default.
+	MaxMessage int
+}
+
+// DefaultMaxMessage is the FM 1.x message size limit.
+const DefaultMaxMessage = 1 << 20
+
+// Packet header layout (12 bytes):
+//
+//	[0]     type (1=data, 2=credit)
+//	[1]     flags (bit0 first fragment, bit1 last fragment)
+//	[2:4]   source node
+//	[4:6]   handler ID
+//	[6:8]   fragment payload length
+//	[8:12]  total message length (first fragment) / credit count (credit)
+const (
+	headerSize = 12
+	typeData   = 1
+	typeCredit = 2
+	flagFirst  = 1
+	flagLast   = 2
+)
+
+// Stats counts endpoint activity.
+type Stats struct {
+	MsgsSent, MsgsRecvd       int64
+	PacketsSent, PacketsRecvd int64
+	BytesSent, BytesRecvd     int64
+	UnknownHandler            int64
+}
+
+// Endpoint is one node's FM 1.x attachment.
+type Endpoint struct {
+	node     int
+	h        *hostmodel.Host
+	nic      *lanai.NIC
+	cfg      Config
+	handlers map[HandlerID]Handler
+	fc       *flowctl.Manager
+	asm      []*assembly
+	stats    Stats
+}
+
+type assembly struct {
+	buf     []byte
+	want    int
+	handler HandlerID
+}
+
+// NewEndpoint attaches FM 1.x to node `node` of the platform.
+func NewEndpoint(pl *cluster.Platform, node int, cfg Config) *Endpoint {
+	if cfg.MaxMessage == 0 {
+		cfg.MaxMessage = DefaultMaxMessage
+	}
+	h := pl.Hosts[node]
+	return &Endpoint{
+		node:     node,
+		h:        h,
+		nic:      pl.NICs[node],
+		cfg:      cfg,
+		handlers: make(map[HandlerID]Handler),
+		fc:       flowctl.New(pl.Nodes(), node, h.P.CreditWindow, h.P.RingSlots),
+		asm:      make([]*assembly, pl.Nodes()),
+	}
+}
+
+// Attach creates endpoints for every node of the platform.
+func Attach(pl *cluster.Platform, cfg Config) []*Endpoint {
+	eps := make([]*Endpoint, pl.Nodes())
+	for i := range eps {
+		eps[i] = NewEndpoint(pl, i, cfg)
+	}
+	return eps
+}
+
+// Node reports this endpoint's node ID.
+func (e *Endpoint) Node() int { return e.node }
+
+// Host returns the underlying host (for cost charging by upper layers).
+func (e *Endpoint) Host() *hostmodel.Host { return e.h }
+
+// Stats returns a copy of the endpoint counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// FlowControl exposes the credit manager (tests assert its invariants).
+func (e *Endpoint) FlowControl() *flowctl.Manager { return e.fc }
+
+// MTU reports the per-packet payload capacity.
+func (e *Endpoint) MTU() int { return e.h.P.PacketMTU - headerSize }
+
+// Register installs a handler under id. Handlers must be registered before
+// any peer sends to them.
+func (e *Endpoint) Register(id HandlerID, fn Handler) {
+	if _, dup := e.handlers[id]; dup {
+		panic(fmt.Sprintf("fm1: duplicate handler %d", id))
+	}
+	e.handlers[id] = fn
+}
+
+// Send4 transmits a four-word message — the FM_send_4 fast path for the
+// short messages that dominate real traffic (paper §2.1).
+func (e *Endpoint) Send4(p *sim.Proc, dst int, h HandlerID, w0, w1, w2, w3 uint32) error {
+	var buf [16]byte
+	binary.LittleEndian.PutUint32(buf[0:], w0)
+	binary.LittleEndian.PutUint32(buf[4:], w1)
+	binary.LittleEndian.PutUint32(buf[8:], w2)
+	binary.LittleEndian.PutUint32(buf[12:], w3)
+	return e.Send(p, dst, h, buf[:])
+}
+
+// Send transmits buf as one FM message, fragmenting at the packet MTU.
+// It blocks (in virtual time) on flow-control credits and NIC back-pressure
+// but never on the receiver servicing the network: FM buffering lets the
+// sender run ahead by a full credit window.
+func (e *Endpoint) Send(p *sim.Proc, dst int, h HandlerID, buf []byte) error {
+	if len(buf) > e.cfg.MaxMessage {
+		return fmt.Errorf("fm1: message of %d bytes exceeds limit %d", len(buf), e.cfg.MaxMessage)
+	}
+	if dst == e.node {
+		return fmt.Errorf("fm1: self-send not supported")
+	}
+	p.Delay(e.h.P.SendSetup)
+	mtu := e.MTU()
+	total := len(buf)
+	off := 0
+	first := true
+	for {
+		n := total - off
+		if n > mtu {
+			n = mtu
+		}
+		p.Delay(e.h.P.PerPacketSend)
+		e.acquireCredit(p, dst)
+		frame := make([]byte, headerSize+n)
+		frame[0] = typeData
+		var flags byte
+		if first {
+			flags |= flagFirst
+		}
+		if off+n == total {
+			flags |= flagLast
+		}
+		frame[1] = flags
+		binary.LittleEndian.PutUint16(frame[2:], uint16(e.node))
+		binary.LittleEndian.PutUint16(frame[4:], uint16(h))
+		binary.LittleEndian.PutUint16(frame[6:], uint16(n))
+		binary.LittleEndian.PutUint32(frame[8:], uint32(total))
+		copy(frame[headerSize:], buf[off:off+n])
+		e.nic.HostSend(p, dst, frame, false)
+		e.stats.PacketsSent++
+		off += n
+		first = false
+		if off >= total {
+			break
+		}
+	}
+	e.stats.MsgsSent++
+	e.stats.BytesSent += int64(total)
+	return nil
+}
+
+// acquireCredit takes one packet credit toward dst, servicing control
+// traffic (and only control traffic — FM sends never process incoming data)
+// while blocked.
+func (e *Endpoint) acquireCredit(p *sim.Proc, dst int) {
+	if e.cfg.DisableFlowControl {
+		return
+	}
+	e.drainCtrl()
+	for !e.fc.Consume(dst) {
+		pkt := e.nic.WaitCtrl(p)
+		e.handleCtrl(pkt.Payload)
+		e.drainCtrl()
+	}
+}
+
+func (e *Endpoint) drainCtrl() {
+	for {
+		pkt, ok := e.nic.PollCtrl()
+		if !ok {
+			return
+		}
+		e.handleCtrl(pkt.Payload)
+	}
+}
+
+func (e *Endpoint) handleCtrl(frame []byte) {
+	if frame[0] != typeCredit {
+		panic("fm1: non-credit packet on control queue")
+	}
+	src := int(binary.LittleEndian.Uint16(frame[2:]))
+	n := int(binary.LittleEndian.Uint32(frame[8:]))
+	e.fc.Refill(src, n)
+}
+
+// returnCredits sends a credit packet back to src when a half-window of
+// ring slots has been freed.
+func (e *Endpoint) returnCredits(p *sim.Proc, src int) {
+	if e.cfg.DisableFlowControl {
+		return
+	}
+	if n, due := e.fc.NoteFreed(src); due {
+		e.sendCreditPacket(p, src, n)
+	}
+}
+
+func (e *Endpoint) sendCreditPacket(p *sim.Proc, dst, n int) {
+	frame := make([]byte, headerSize)
+	frame[0] = typeCredit
+	binary.LittleEndian.PutUint16(frame[2:], uint16(e.node))
+	binary.LittleEndian.PutUint32(frame[8:], uint32(n))
+	e.nic.HostSend(p, dst, frame, true)
+}
+
+// Extract services the network: it processes all pending packets, invoking
+// handlers for completed messages, and returns the number of messages
+// handled. Unlike sends, Extract is the only place handlers run — the
+// decoupling FM 1.x guarantees (paper §3.1).
+func (e *Endpoint) Extract(p *sim.Proc) int {
+	e.drainCtrl()
+	handled := 0
+	polled := false
+	for {
+		pkt, ok := e.nic.Poll()
+		if !ok {
+			if !polled {
+				p.Delay(e.h.P.PollEmpty)
+			}
+			break
+		}
+		polled = true
+		p.Delay(e.h.P.PerPacketRecv)
+		if e.processData(p, pkt.Payload) {
+			handled++
+		}
+		e.stats.PacketsRecvd++
+	}
+	return handled
+}
+
+// processData consumes one data frame; it reports whether a full message
+// was delivered to its handler.
+func (e *Endpoint) processData(p *sim.Proc, frame []byte) bool {
+	if frame[0] != typeData {
+		panic("fm1: non-data packet on receive ring")
+	}
+	flags := frame[1]
+	src := int(binary.LittleEndian.Uint16(frame[2:]))
+	h := HandlerID(binary.LittleEndian.Uint16(frame[4:]))
+	n := int(binary.LittleEndian.Uint16(frame[6:]))
+	total := int(binary.LittleEndian.Uint32(frame[8:]))
+	payload := frame[headerSize : headerSize+n]
+	defer e.returnCredits(p, src)
+
+	if flags&flagFirst != 0 && flags&flagLast != 0 {
+		// Single-packet message: the handler gets a pointer into the
+		// receive ring — no staging copy.
+		return e.dispatch(p, src, h, payload)
+	}
+	// Multi-packet message: FM 1.x must reassemble into a staging buffer
+	// before the handler can run — the copy FM 2.x streams eliminate.
+	if flags&flagFirst != 0 {
+		e.asm[src] = &assembly{buf: make([]byte, 0, total), want: total, handler: h}
+	}
+	a := e.asm[src]
+	if a == nil {
+		panic(fmt.Sprintf("fm1: continuation fragment from %d with no assembly in progress", src))
+	}
+	if !e.cfg.DisableBufferMgmt {
+		e.h.Memcpy(p, n) // staging copy, charged
+	}
+	a.buf = append(a.buf, payload...)
+	if flags&flagLast != 0 {
+		if len(a.buf) != a.want {
+			panic(fmt.Sprintf("fm1: reassembled %d bytes, expected %d", len(a.buf), a.want))
+		}
+		e.asm[src] = nil
+		return e.dispatch(p, src, a.handler, a.buf)
+	}
+	return false
+}
+
+func (e *Endpoint) dispatch(p *sim.Proc, src int, h HandlerID, data []byte) bool {
+	fn, ok := e.handlers[h]
+	if !ok {
+		e.stats.UnknownHandler++
+		return false
+	}
+	p.Delay(e.h.P.HandlerDispatch)
+	fn(p, src, data)
+	e.stats.MsgsRecvd++
+	e.stats.BytesRecvd += int64(len(data))
+	return true
+}

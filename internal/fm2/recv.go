@@ -1,0 +1,256 @@
+package fm2
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+type streamState int
+
+const (
+	stateRunning streamState = iota // handler owns the CPU (or is scheduled)
+	stateWaiting                    // handler parked in Receive, needs data
+	stateDone                       // handler returned
+)
+
+// RecvStream is the receive side of one in-flight message: the stream
+// handed to its handler. The handler pulls bytes with Receive; FM delivers
+// packet payloads into the stream as Extract processes them.
+type RecvStream struct {
+	e       *Endpoint
+	src     int
+	msgid   uint16
+	handler HandlerID
+	msglen  int
+
+	pending      [][]byte // delivered, unconsumed chunks (alias ring data)
+	pendingBytes int
+	consumed     int // bytes the handler has taken
+	delivered    int // bytes FM has delivered into the stream
+	sawLast      bool
+	drop         bool // unknown handler: discard silently
+
+	state   streamState
+	dataSig sim.Signal // handler parks here for more packets
+	idleSig sim.Signal // extractor parks here while the handler runs
+}
+
+// Src reports the sending node.
+func (s *RecvStream) Src() int { return s.src }
+
+// Length reports the total message length from the first packet's header —
+// available to the handler before any payload is consumed.
+func (s *RecvStream) Length() int { return s.msglen }
+
+// Remaining reports unconsumed message bytes.
+func (s *RecvStream) Remaining() int { return s.msglen - s.consumed }
+
+// Receive extracts up to len(buf) bytes of the message into buf, blocking
+// (descheduling the handler) until they have arrived. It returns the number
+// of bytes written: min(len(buf), Remaining()). The copy from the FM
+// receive region into buf is the only data movement — with a destination
+// chosen by the handler, this is the zero-staging-copy path that layer
+// interleaving exists to enable.
+func (s *RecvStream) Receive(p *sim.Proc, buf []byte) int {
+	want := len(buf)
+	if r := s.msglen - s.consumed; want > r {
+		want = r
+	}
+	got := 0
+	for got < want {
+		if s.pendingBytes == 0 {
+			s.state = stateWaiting
+			s.idleSig.Broadcast() // hand the CPU back to Extract
+			s.dataSig.Wait(p)     // descheduled until the next packet
+			continue
+		}
+		chunk := s.pending[0]
+		n := copy(buf[got:], chunk)
+		if n == len(chunk) {
+			s.pending = s.pending[1:]
+		} else {
+			s.pending[0] = chunk[n:]
+		}
+		s.pendingBytes -= n
+		s.e.h.Memcpy(p, n)
+		got += n
+	}
+	s.consumed += got
+	return got
+}
+
+// ReceiveDiscard consumes and drops n bytes of the stream without charging
+// a copy — modelling a handler that examines lengths only. Returns bytes
+// actually skipped.
+func (s *RecvStream) ReceiveDiscard(p *sim.Proc, n int) int {
+	if r := s.msglen - s.consumed; n > r {
+		n = r
+	}
+	skipped := 0
+	for skipped < n {
+		if s.pendingBytes == 0 {
+			s.state = stateWaiting
+			s.idleSig.Broadcast()
+			s.dataSig.Wait(p)
+			continue
+		}
+		chunk := s.pending[0]
+		take := len(chunk)
+		if take > n-skipped {
+			take = n - skipped
+			s.pending[0] = chunk[take:]
+		} else {
+			s.pending = s.pending[1:]
+		}
+		s.pendingBytes -= take
+		skipped += take
+	}
+	s.consumed += skipped
+	return skipped
+}
+
+// deliver appends one packet's payload to the stream.
+func (s *RecvStream) deliver(payload []byte, last bool) {
+	s.delivered += len(payload)
+	if last {
+		s.sawLast = true
+	}
+	if s.state == stateDone {
+		// Handler already returned: FM discards the rest of the message.
+		s.e.stats.DiscardedBytes += int64(len(payload))
+		return
+	}
+	if len(payload) > 0 {
+		s.pending = append(s.pending, payload)
+		s.pendingBytes += len(payload)
+	}
+}
+
+// complete reports whether the stream can be retired: all packets arrived
+// and the handler finished.
+func (s *RecvStream) complete() bool { return s.sawLast && s.state == stateDone }
+
+// key builds the demux key for a (src, msgid) pair.
+func key(src int, msgid uint16) uint32 { return uint32(src)<<16 | uint32(msgid) }
+
+// Extract services the network, processing at most maxBytes of payload
+// (rounded up to the next packet boundary, as in the real API) — the
+// receiver flow control knob. maxBytes <= 0 means no limit. It returns the
+// number of messages completed during this call.
+//
+// As each packet is extracted, the packet's handler coroutine is scheduled
+// and run until it either needs more data or finishes: the controlled
+// interleaving of FM's and the application's threads of execution that the
+// paper calls interlayer scheduling.
+func (e *Endpoint) Extract(p *sim.Proc, maxBytes int) int {
+	e.drainCtrl()
+	completed := 0
+	budget := maxBytes
+	polled := false
+	for {
+		if maxBytes > 0 && budget <= 0 {
+			break
+		}
+		pkt, ok := e.nic.Poll()
+		if !ok {
+			if !polled {
+				p.Delay(e.h.P.PollEmpty)
+			}
+			break
+		}
+		polled = true
+		p.Delay(e.h.P.PerPacketRecv)
+		completed += e.processData(p, pkt.Payload)
+		e.stats.PacketsRecvd++
+		if maxBytes > 0 {
+			budget -= len(pkt.Payload) - headerSize
+		}
+	}
+	return completed
+}
+
+// ExtractAll services the network with no byte limit.
+func (e *Endpoint) ExtractAll(p *sim.Proc) int { return e.Extract(p, 0) }
+
+// processData demultiplexes one data frame into its stream and runs the
+// stream's handler until it yields; it returns 1 when the message completed.
+func (e *Endpoint) processData(p *sim.Proc, frame []byte) int {
+	if frame[0] != typeData {
+		panic("fm2: non-data packet on receive ring")
+	}
+	flags := frame[1]
+	src := int(binary.LittleEndian.Uint16(frame[2:]))
+	msgid := binary.LittleEndian.Uint16(frame[4:])
+	h := HandlerID(binary.LittleEndian.Uint16(frame[6:]))
+	n := int(binary.LittleEndian.Uint16(frame[8:]))
+	total := int(binary.LittleEndian.Uint32(frame[10:]))
+	payload := frame[headerSize : headerSize+n]
+	defer e.returnCredits(p, src)
+
+	k := key(src, msgid)
+	rs := e.active[k]
+	if rs == nil {
+		if flags&flagFirst == 0 {
+			panic(fmt.Sprintf("fm2: continuation packet for unknown stream (src %d, msg %d)", src, msgid))
+		}
+		fn, ok := e.handlers[h]
+		if !ok {
+			// Unknown handler: swallow the whole message via a pre-done
+			// stream so continuation packets have somewhere to drain.
+			e.stats.UnknownHandler++
+			rs = &RecvStream{e: e, src: src, msgid: msgid, handler: h, msglen: total,
+				state: stateDone, drop: true}
+			e.active[k] = rs
+			rs.deliver(payload, flags&flagLast != 0)
+			if rs.complete() {
+				delete(e.active, k)
+			}
+			return 0
+		}
+		rs = &RecvStream{e: e, src: src, msgid: msgid, handler: h, msglen: total, state: stateRunning}
+		e.active[k] = rs
+		p.Delay(e.h.P.HandlerDispatch)
+		e.h.K.SpawnDaemon(fmt.Sprintf("fm2.n%d.h%d.src%d.m%d", e.node, h, src, msgid),
+			func(hp *sim.Proc) {
+				fn(hp, rs)
+				rs.state = stateDone
+				// Anything delivered but unconsumed is discarded.
+				rs.e.stats.DiscardedBytes += int64(rs.pendingBytes)
+				rs.pending, rs.pendingBytes = nil, 0
+				rs.idleSig.Broadcast()
+			})
+	}
+	rs.deliver(payload, flags&flagLast != 0)
+	e.runStream(p, rs)
+	if rs.complete() {
+		delete(e.active, k)
+		if rs.drop {
+			return 0
+		}
+		e.stats.MsgsRecvd++
+		e.stats.BytesRecvd += int64(rs.delivered)
+		return 1
+	}
+	return 0
+}
+
+// runStream hands the CPU to the stream's handler until it parks (needs
+// more data) or returns. The extracting Proc is descheduled meanwhile, so
+// handler execution time is correctly charged to this host's CPU.
+func (e *Endpoint) runStream(p *sim.Proc, rs *RecvStream) {
+	if rs.state == stateDone {
+		return
+	}
+	if rs.state == stateWaiting {
+		if rs.pendingBytes == 0 && !rs.sawLast {
+			return // nothing new for the handler yet
+		}
+		rs.state = stateRunning
+		rs.dataSig.Signal()
+	}
+	for rs.state == stateRunning {
+		rs.idleSig.Wait(p)
+	}
+}

@@ -1,0 +1,156 @@
+package fm2
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SendStream is an open outgoing message: a byte stream composed piecewise
+// by SendPiece calls (gather) and packetized transparently at the MTU.
+type SendStream struct {
+	e       *Endpoint
+	dst     int
+	handler HandlerID
+	msgid   uint16
+	total   int // declared message size
+	sent    int // payload bytes accepted so far
+	pkt     []byte
+	first   bool
+	closed  bool
+}
+
+// BeginMessage opens a message of exactly `size` payload bytes toward dst.
+// The size is carried in the first packet's header, as in the real API, so
+// receivers can select destination buffers before the payload arrives.
+func (e *Endpoint) BeginMessage(p *sim.Proc, dst, size int, h HandlerID) (*SendStream, error) {
+	if size < 0 || size > e.cfg.MaxMessage {
+		return nil, fmt.Errorf("fm2: message size %d out of range [0,%d]", size, e.cfg.MaxMessage)
+	}
+	if dst == e.node {
+		return nil, fmt.Errorf("fm2: self-send not supported")
+	}
+	p.Delay(e.h.P.SendSetup)
+	e.msgSeq++
+	return &SendStream{
+		e:       e,
+		dst:     dst,
+		handler: h,
+		msgid:   e.msgSeq,
+		total:   size,
+		pkt:     make([]byte, 0, e.MTU()),
+		first:   true,
+	}, nil
+}
+
+// SendPiece appends buf to the message stream. Pieces of arbitrary sizes
+// are gathered directly into outgoing packets: the PIO transfer into the
+// NIC is the only data movement, eliminating the assembly copy that the
+// FM 1.x contiguous-buffer API forces on upper layers (paper §4.1).
+func (s *SendStream) SendPiece(p *sim.Proc, buf []byte) error {
+	if s.closed {
+		return fmt.Errorf("fm2: SendPiece after EndMessage")
+	}
+	if s.sent+len(buf) > s.total {
+		return fmt.Errorf("fm2: piece overflows declared size %d (already %d, piece %d)",
+			s.total, s.sent, len(buf))
+	}
+	mtu := s.e.MTU()
+	for len(buf) > 0 {
+		if len(s.pkt) == mtu {
+			// Packet full and more bytes follow: it cannot be the last.
+			s.flush(p, false)
+		}
+		n := mtu - len(s.pkt)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		s.pkt = append(s.pkt, buf[:n]...)
+		buf = buf[n:]
+		s.sent += n
+	}
+	return nil
+}
+
+// EndMessage closes the stream, flushing the final packet with the LAST
+// flag. Every byte declared in BeginMessage must have been supplied.
+func (s *SendStream) EndMessage(p *sim.Proc) error {
+	if s.closed {
+		return fmt.Errorf("fm2: double EndMessage")
+	}
+	if s.sent != s.total {
+		return fmt.Errorf("fm2: EndMessage with %d of %d declared bytes sent", s.sent, s.total)
+	}
+	s.flush(p, true)
+	s.closed = true
+	s.e.stats.MsgsSent++
+	s.e.stats.BytesSent += int64(s.total)
+	return nil
+}
+
+// flush transmits the current packet. Packets are flushed lazily so the
+// final one always carries the LAST flag without an extra empty packet.
+func (s *SendStream) flush(p *sim.Proc, last bool) {
+	e := s.e
+	p.Delay(e.h.P.PerPacketSend)
+	e.acquireCredit(p, s.dst)
+	frame := make([]byte, headerSize+len(s.pkt))
+	frame[0] = typeData
+	var flags byte
+	if s.first {
+		flags |= flagFirst
+	}
+	if last {
+		flags |= flagLast
+	}
+	frame[1] = flags
+	putU16 := func(off int, v uint16) {
+		frame[off] = byte(v)
+		frame[off+1] = byte(v >> 8)
+	}
+	putU16(2, uint16(e.node))
+	putU16(4, s.msgid)
+	putU16(6, uint16(s.handler))
+	putU16(8, uint16(len(s.pkt)))
+	frame[10] = byte(s.total)
+	frame[11] = byte(s.total >> 8)
+	frame[12] = byte(s.total >> 16)
+	frame[13] = byte(s.total >> 24)
+	copy(frame[headerSize:], s.pkt)
+	e.nic.HostSend(p, s.dst, frame, false)
+	e.stats.PacketsSent++
+	s.first = false
+	s.pkt = s.pkt[:0]
+}
+
+// Send transmits buf as a single-piece message: the convenience path for
+// callers that do not need gather.
+func (e *Endpoint) Send(p *sim.Proc, dst int, h HandlerID, buf []byte) error {
+	s, err := e.BeginMessage(p, dst, len(buf), h)
+	if err != nil {
+		return err
+	}
+	if err := s.SendPiece(p, buf); err != nil {
+		return err
+	}
+	return s.EndMessage(p)
+}
+
+// SendGather transmits the concatenation of pieces as one message — the
+// common header+payload pattern of protocol layers over FM.
+func (e *Endpoint) SendGather(p *sim.Proc, dst int, h HandlerID, pieces ...[]byte) error {
+	total := 0
+	for _, pc := range pieces {
+		total += len(pc)
+	}
+	s, err := e.BeginMessage(p, dst, total, h)
+	if err != nil {
+		return err
+	}
+	for _, pc := range pieces {
+		if err := s.SendPiece(p, pc); err != nil {
+			return err
+		}
+	}
+	return s.EndMessage(p)
+}

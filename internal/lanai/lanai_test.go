@@ -1,0 +1,156 @@
+package lanai
+
+import (
+	"testing"
+
+	"repro/internal/hostmodel"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func pair(cfg Config) (*sim.Kernel, []*NIC) {
+	k := sim.NewKernel()
+	prof := hostmodel.PPro200()
+	net := netsim.NewDirectPair(k, prof.Link)
+	nics := make([]*NIC, 2)
+	for i := 0; i < 2; i++ {
+		h := hostmodel.NewHost(k, i, prof)
+		nics[i] = New(h, net.Iface(i), cfg)
+		nics[i].Start()
+	}
+	return k, nics
+}
+
+func TestHostSendToPoll(t *testing.T) {
+	k, nics := pair(DefaultConfig())
+	var got []byte
+	k.Spawn("sender", func(p *sim.Proc) {
+		nics[0].HostSend(p, 1, []byte("frame-bytes"), false)
+	})
+	k.Spawn("receiver", func(p *sim.Proc) {
+		for {
+			if pkt, ok := nics[1].Poll(); ok {
+				got = pkt.Payload
+				return
+			}
+			p.Delay(sim.Microsecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "frame-bytes" {
+		t.Fatalf("got %q", got)
+	}
+	if nics[0].Stats().Sent != 1 || nics[1].Stats().Received != 1 {
+		t.Fatalf("stats %+v %+v", nics[0].Stats(), nics[1].Stats())
+	}
+}
+
+func TestCtrlDemuxBypassesData(t *testing.T) {
+	// A control frame sent after a burst of data frames must be readable
+	// from the control queue before the data is drained.
+	k, nics := pair(DefaultConfig())
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			nics[0].HostSend(p, 1, []byte{byte(i)}, false)
+		}
+		nics[0].HostSend(p, 1, []byte{0xCC}, true)
+	})
+	k.Spawn("receiver", func(p *sim.Proc) {
+		pkt := nics[1].WaitCtrl(p)
+		if pkt.Payload[0] != 0xCC {
+			t.Errorf("ctrl payload %x", pkt.Payload)
+		}
+		if nics[1].RingLen() == 0 {
+			t.Error("data should still be queued in the ring")
+		}
+		for nics[1].Stats().Received < 5 {
+			nics[1].Poll()
+			p.Delay(sim.Microsecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nics[1].Stats().CtrlRecv != 1 {
+		t.Fatalf("ctrl recv %d", nics[1].Stats().CtrlRecv)
+	}
+}
+
+func TestRingDropPolicyCountsDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OnRingFull = RingDrop
+	k, nics := pair(cfg)
+	total := nics[1].RingSlots() + 20
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < total; i++ {
+			nics[0].HostSend(p, 1, []byte{1}, false)
+		}
+	})
+	// Receiver never drains.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := nics[1].Stats()
+	if st.RingDropped == 0 {
+		t.Fatal("no drops despite overrun under RingDrop")
+	}
+	if st.Received != int64(nics[1].RingSlots()) {
+		t.Fatalf("received %d, want ring capacity %d", st.Received, nics[1].RingSlots())
+	}
+}
+
+func TestRingStallBackpressuresWire(t *testing.T) {
+	k, nics := pair(DefaultConfig()) // RingStall
+	total := nics[1].RingSlots() + 20
+	sent := 0
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < total; i++ {
+			nics[0].HostSend(p, 1, []byte{1}, false)
+			sent++
+		}
+	})
+	defer k.Shutdown()
+	if err := k.RunUntil(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if nics[1].Stats().RingDropped != 0 {
+		t.Fatal("RingStall must never drop")
+	}
+	// The sender stalls once ring + queues + wire are full.
+	if sent >= total {
+		t.Fatalf("sender pushed all %d frames into a stalled receiver", total)
+	}
+}
+
+func TestChargeBusOffSkipsBusTime(t *testing.T) {
+	fast := Config{OnRingFull: RingStall, ChargeBus: false}
+	slow := DefaultConfig()
+	elapsed := func(cfg Config) sim.Time {
+		k, nics := pair(cfg)
+		var end sim.Time
+		k.Spawn("sender", func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				nics[0].HostSend(p, 1, make([]byte, 512), false)
+			}
+		})
+		k.Spawn("receiver", func(p *sim.Proc) {
+			for n := 0; n < 20; {
+				if _, ok := nics[1].Poll(); ok {
+					n++
+					continue
+				}
+				p.Delay(sim.Microsecond)
+			}
+			end = p.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if ef, es := elapsed(fast), elapsed(slow); ef >= es {
+		t.Fatalf("bus-free engine (%v) should beat bus-charged (%v)", ef, es)
+	}
+}

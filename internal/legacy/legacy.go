@@ -1,0 +1,55 @@
+// Package legacy models traditional kernel-mode protocol stacks (TCP/UDP)
+// as the paper's §1-2 does: a fixed per-packet protocol-processing overhead
+// in front of the wire. Figure 1 plots the resulting delivered bandwidth on
+// 100 Mbit and 1 Gbit Ethernet, showing that fast links alone cannot help
+// short messages; §2.2 cites ~125 us per UDP packet as the era's best case.
+package legacy
+
+import "repro/internal/sim"
+
+// Stack describes one legacy protocol configuration.
+type Stack struct {
+	Name         string
+	LinkMbps     float64  // link speed in megabits/s
+	PerPacketCPU sim.Time // protocol processing overhead per packet
+	MTU          int      // bytes per packet
+}
+
+// Ethernet100 is 100 Mbit Ethernet under the paper's fixed 125 us overhead.
+func Ethernet100() Stack {
+	return Stack{Name: "100 Mbit/s", LinkMbps: 100, PerPacketCPU: 125 * sim.Microsecond, MTU: 1500}
+}
+
+// Ethernet1G is 1 Gbit Ethernet under the same overhead.
+func Ethernet1G() Stack {
+	return Stack{Name: "1 Gbit/s", LinkMbps: 1000, PerPacketCPU: 125 * sim.Microsecond, MTU: 1500}
+}
+
+// LinkMBps reports the link's payload capacity in MB/s.
+func (s Stack) LinkMBps() float64 { return s.LinkMbps / 8 }
+
+// MsgTime reports the per-message time for an n-byte message: protocol
+// processing per packet plus wire serialization.
+func (s Stack) MsgTime(n int) sim.Time {
+	pkts := (n + s.MTU - 1) / s.MTU
+	if pkts < 1 {
+		pkts = 1
+	}
+	return sim.Time(pkts)*s.PerPacketCPU + sim.BytesTime(n, s.LinkMBps())
+}
+
+// Bandwidth reports delivered bandwidth in MB/s for n-byte messages —
+// the Figure 1 curve: BW = n / (overhead + n/link).
+func (s Stack) Bandwidth(n int) float64 {
+	t := s.MsgTime(n)
+	if t <= 0 {
+		return 0
+	}
+	return sim.MBps(int64(n), t)
+}
+
+// HalfPowerPoint reports the message size at which the stack delivers half
+// its link bandwidth: n where n/link == overhead.
+func (s Stack) HalfPowerPoint() int {
+	return int(float64(s.PerPacketCPU) / 1000.0 * s.LinkMBps())
+}

@@ -1,0 +1,71 @@
+package legacy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPaperQuotedUDPBound(t *testing.T) {
+	// §2.2: with ~125 us per packet, typical packet sizes (< 256 bytes)
+	// sustain no more than ~2 MB/s.
+	s := Ethernet100()
+	if bw := s.Bandwidth(256); bw > 2.1 {
+		t.Errorf("256B bandwidth %.2f MB/s, paper bound ~2", bw)
+	}
+}
+
+func TestFasterLinkBarelyHelpsShortMessages(t *testing.T) {
+	// Figure 1's point: at short sizes the two curves nearly coincide.
+	e100, e1g := Ethernet100(), Ethernet1G()
+	// A 10x faster link must yield far less than 10x delivered bandwidth;
+	// at the shortest sizes the curves nearly coincide (paper Figure 1).
+	bounds := map[int]float64{8: 1.01, 64: 1.05, 256: 1.2, 1024: 1.6}
+	for n, maxGain := range bounds {
+		b100, b1g := e100.Bandwidth(n), e1g.Bandwidth(n)
+		if b1g < b100 {
+			t.Errorf("1G slower than 100M at %dB", n)
+		}
+		if gain := b1g / b100; gain > maxGain {
+			t.Errorf("at %dB the 10x link gives %.2fx bandwidth, want <= %.2fx", n, gain, maxGain)
+		}
+	}
+}
+
+func TestBandwidthMonotonicInSize(t *testing.T) {
+	s := Ethernet1G()
+	prev := 0.0
+	for n := 8; n <= 1500; n *= 2 {
+		bw := s.Bandwidth(n)
+		if bw <= prev {
+			t.Errorf("bandwidth not increasing at %dB: %.3f <= %.3f", n, bw, prev)
+		}
+		prev = bw
+	}
+}
+
+func TestMsgTimeComponents(t *testing.T) {
+	s := Stack{Name: "t", LinkMbps: 80, PerPacketCPU: 10 * sim.Microsecond, MTU: 1000}
+	// 1000 bytes: 1 packet = 10us CPU + 1000B at 10MB/s = 100us wire.
+	if got := s.MsgTime(1000); got != 110*sim.Microsecond {
+		t.Errorf("MsgTime(1000) = %v, want 110us", got)
+	}
+	// 1001 bytes: 2 packets of CPU.
+	if got := s.MsgTime(1001); got <= 110*sim.Microsecond {
+		t.Errorf("MsgTime(1001) = %v, want > 110us", got)
+	}
+}
+
+func TestHalfPowerPoint(t *testing.T) {
+	// n1/2 = overhead * linkMBps: for 100Mbit (12.5 MB/s) and 125us that
+	// is ~1562 bytes — above the MTU, which is the whole problem.
+	s := Ethernet100()
+	hp := s.HalfPowerPoint()
+	if hp < 1500 || hp > 1650 {
+		t.Errorf("half-power point %d, want ~1562", hp)
+	}
+	// And for gigabit it is ~15625 bytes: "megabyte-sized messages" territory.
+	if hp := Ethernet1G().HalfPowerPoint(); hp < 15000 || hp > 16500 {
+		t.Errorf("1G half-power point %d, want ~15625", hp)
+	}
+}

@@ -1,0 +1,169 @@
+package mpifm
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/fm1"
+	"repro/internal/fm2"
+	"repro/internal/sim"
+)
+
+// mpiHandlerID is the FM handler slot MPI-FM claims on every node.
+const mpiHandlerID = 1
+
+// --- FM 1.x binding: the original MPI-FM (Figure 4) ---
+
+type fm1Binding struct {
+	c  *Comm
+	ep *fm1.Endpoint
+}
+
+// AttachFM1 builds MPI-FM over FM 1.x on every node of the platform.
+func AttachFM1(pl *cluster.Platform, fmCfg fm1.Config, ov Overheads) []*Comm {
+	eps := fm1.Attach(pl, fmCfg)
+	comms := make([]*Comm, pl.Nodes())
+	for i := range comms {
+		c := &Comm{rank: i, size: pl.Nodes(), host: pl.Hosts[i], ov: ov}
+		b := &fm1Binding{c: c, ep: eps[i]}
+		eps[i].Register(mpiHandlerID, b.handler)
+		c.b = b
+		comms[i] = c
+	}
+	return comms
+}
+
+// send assembles header and payload into one contiguous buffer — the copy
+// the FM 1.x API forces on every send — plus the encapsulation pass the
+// paper blames alongside it ("header attachment, message encapsulation,
+// checksumming", §3.2): the MPI device walks the assembled message once
+// more before handing it to FM.
+func (b *fm1Binding) send(p *sim.Proc, dst int, hdr, payload []byte) error {
+	msg := make([]byte, len(hdr)+len(payload))
+	copy(msg, hdr)
+	copy(msg[len(hdr):], payload)
+	b.c.host.Memcpy(p, len(msg)) // assembly copy
+	b.c.host.Memcpy(p, len(msg)) // encapsulation/checksum traversal
+	return b.ep.Send(p, dst, mpiHandlerID, msg)
+}
+
+// handler receives a complete, contiguous message from FM 1.x staging.
+// Matched or not, the payload is copied again: FM has already presented it
+// in its own buffer, so the best case is staging -> user buffer, and the
+// unexpected case is staging -> pool (-> user later).
+func (b *fm1Binding) handler(p *sim.Proc, src int, data []byte) {
+	c := b.c
+	srcRank, tag, n, _ := decodeHeader(data[:HeaderSize])
+	payload := data[HeaderSize : HeaderSize+n]
+	if req := c.takePosted(srcRank, tag); req != nil {
+		m := copy(req.buf, payload)
+		c.host.Memcpy(p, m)
+		p.Delay(c.ov.Recv)
+		c.complete(req, srcRank, tag, m)
+		c.stats.Direct++
+		return
+	}
+	p.Delay(c.ov.Unexpected)
+	buf := make([]byte, n)
+	copy(buf, payload)
+	c.host.Memcpy(p, n)
+	c.stats.Unexpected++
+	c.enqueueUnexpected(p, srcRank, tag, buf)
+}
+
+// progress cannot be paced: FM_extract() in 1.x processes everything
+// pending, presenting data whether or not MPI is ready for it.
+func (b *fm1Binding) progress(p *sim.Proc, limit int) { b.ep.Extract(p) }
+
+func (b *fm1Binding) maxPayload() int { return fm1.DefaultMaxMessage - HeaderSize }
+
+// --- FM 2.x binding: MPI-FM 2.0 (Figure 6) ---
+
+type fm2Binding struct {
+	c   *Comm
+	ep  *fm2.Endpoint
+	opt FM2Options
+}
+
+// FM2Options selects which FM 2.x services MPI-FM 2.0 uses. The ablation
+// benches turn services off one at a time to price each of the paper's API
+// additions.
+type FM2Options struct {
+	// Unpaced makes progress drain everything (no receiver flow control).
+	Unpaced bool
+	// NoGather forces FM 1.x-style contiguous assembly before sending.
+	NoGather bool
+}
+
+// AttachFM2 builds MPI-FM 2.0 over FM 2.x on every node. paced enables the
+// receiver-flow-control use of Extract's byte budget; turning it off is an
+// ablation configuration.
+func AttachFM2(pl *cluster.Platform, fmCfg fm2.Config, ov Overheads, paced bool) []*Comm {
+	return AttachFM2Opt(pl, fmCfg, ov, FM2Options{Unpaced: !paced})
+}
+
+// AttachFM2Opt builds MPI-FM 2.0 with explicit service selection.
+func AttachFM2Opt(pl *cluster.Platform, fmCfg fm2.Config, ov Overheads, opt FM2Options) []*Comm {
+	eps := fm2.Attach(pl, fmCfg)
+	comms := make([]*Comm, pl.Nodes())
+	for i := range comms {
+		c := &Comm{rank: i, size: pl.Nodes(), host: pl.Hosts[i], ov: ov}
+		b := &fm2Binding{c: c, ep: eps[i], opt: opt}
+		eps[i].Register(mpiHandlerID, b.handler)
+		c.b = b
+		comms[i] = c
+	}
+	return comms
+}
+
+// send gathers the header and payload straight into packets: no assembly
+// copy (paper §4.1, gather/scatter). With NoGather it re-creates the FM 1.x
+// send-side assembly copy for the ablation bench.
+func (b *fm2Binding) send(p *sim.Proc, dst int, hdr, payload []byte) error {
+	if b.opt.NoGather {
+		msg := make([]byte, len(hdr)+len(payload))
+		copy(msg, hdr)
+		copy(msg[len(hdr):], payload)
+		b.c.host.Memcpy(p, len(msg))
+		return b.ep.Send(p, dst, mpiHandlerID, msg)
+	}
+	return b.ep.SendGather(p, dst, mpiHandlerID, hdr, payload)
+}
+
+// handler is the paper's canonical FM 2.x receive pattern: pull the header,
+// match, then scatter the payload directly into the buffer the match chose.
+func (b *fm2Binding) handler(p *sim.Proc, s *fm2.RecvStream) {
+	c := b.c
+	var hdr [HeaderSize]byte
+	s.Receive(p, hdr[:])
+	srcRank, tag, n, _ := decodeHeader(hdr[:])
+	if req := c.takePosted(srcRank, tag); req != nil {
+		m := n
+		if m > len(req.buf) {
+			m = len(req.buf)
+		}
+		s.Receive(p, req.buf[:m]) // zero-staging: ring -> user buffer
+		if m < n {
+			s.ReceiveDiscard(p, n-m)
+		}
+		p.Delay(c.ov.Recv)
+		c.complete(req, srcRank, tag, m)
+		c.stats.Direct++
+		return
+	}
+	p.Delay(c.ov.Unexpected)
+	buf := make([]byte, n)
+	s.Receive(p, buf)
+	c.stats.Unexpected++
+	c.enqueueUnexpected(p, srcRank, tag, buf)
+}
+
+// progress paces extraction to the byte budget of the pending receive so
+// data is presented only when MPI can place it (receiver flow control).
+func (b *fm2Binding) progress(p *sim.Proc, limit int) {
+	if !b.opt.Unpaced && limit > 0 {
+		b.ep.Extract(p, limit)
+		return
+	}
+	b.ep.ExtractAll(p)
+}
+
+func (b *fm2Binding) maxPayload() int { return fm2.DefaultMaxMessage - HeaderSize }

@@ -1,0 +1,330 @@
+// Package mpifm implements the MPI-FM point-to-point layer of the paper: an
+// MPI subset (blocking and nonblocking sends/receives with source/tag
+// matching, unexpected-message queueing, barrier) layered over Fast
+// Messages through two bindings:
+//
+//   - OverFM1: the original MPI-FM. FM 1.x's contiguous-buffer API forces
+//     an assembly copy on send (header + payload into one buffer) and, on
+//     receive, delivery from FM's staging into either the user buffer or —
+//     because FM_extract cannot be paced — an unexpected-message pool,
+//     costing further copies. This is the configuration of Figure 4.
+//
+//   - OverFM2: MPI-FM 2.0. Gather sends the 24-byte MPI header (paper §5:
+//     "the minimum length of the header added by the MPI code is 24 bytes")
+//     and payload with no assembly copy; the receive handler reads the
+//     header, matches a posted receive, and scatters the payload directly
+//     into the user buffer; Extract's byte budget paces extraction to the
+//     posted receive so messages rarely take the unexpected path. This is
+//     the configuration of Figure 6.
+//
+// Like FM itself, a Comm is single-threaded: one Proc per rank.
+package mpifm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/hostmodel"
+	"repro/internal/sim"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// HeaderSize is the MPI-FM message header: 6 words.
+const HeaderSize = 24
+
+// Header layout: srcRank(4) tag(4) context(4) payloadLen(4) seq(4) kind(4).
+const (
+	kindPt2Pt = iota
+	kindBarrier
+)
+
+// Overheads is the per-message cost of the MPI layer itself, distinct from
+// data movement: argument checking, matching, request bookkeeping.
+type Overheads struct {
+	Send       sim.Time // send-path protocol cost
+	Recv       sim.Time // matching + completion cost
+	Unexpected sim.Time // extra bookkeeping on the unexpected path
+}
+
+// SparcOverheads models MPICH-era per-message costs on the FM 1.x machines.
+func SparcOverheads() Overheads {
+	return Overheads{
+		Send:       8 * sim.Microsecond,
+		Recv:       10 * sim.Microsecond,
+		Unexpected: 2 * sim.Microsecond,
+	}
+}
+
+// PProOverheads models the leaner MPI-FM 2.0 costs on a 200 MHz PPro.
+func PProOverheads() Overheads {
+	return Overheads{
+		Send:       1 * sim.Microsecond,
+		Recv:       1200 * sim.Nanosecond,
+		Unexpected: 500 * sim.Nanosecond,
+	}
+}
+
+// Status reports the outcome of a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Len    int
+}
+
+// Request is a nonblocking operation handle.
+type Request struct {
+	c    *Comm
+	buf  []byte
+	src  int // match criterion
+	tag  int // match criterion
+	done bool
+	st   Status
+}
+
+// Done reports completion (progress is made by Wait/Recv loops).
+func (r *Request) Done() bool { return r.done }
+
+// Status returns the completion status; valid once Done.
+func (r *Request) Status() Status { return r.st }
+
+type inMsg struct {
+	src, tag int
+	data     []byte
+}
+
+// Stats counts MPI-layer activity; Direct vs Unexpected is the copy-count
+// story of Figures 4 and 6.
+type Stats struct {
+	Sent       int64
+	Recvd      int64
+	Direct     int64 // payload landed straight in the user buffer
+	Unexpected int64 // payload buffered in the pool first
+}
+
+// binding abstracts which FM generation carries the bytes.
+type binding interface {
+	// send transmits header+payload as one FM message.
+	send(p *sim.Proc, dst int, hdr []byte, payload []byte) error
+	// progress services the network; limit is a payload byte budget that
+	// bindings without receiver flow control ignore.
+	progress(p *sim.Proc, limit int)
+	// maxPayload reports the largest payload a single message may carry.
+	maxPayload() int
+}
+
+// Comm is one rank's communicator (MPI_COMM_WORLD).
+type Comm struct {
+	rank, size int
+	host       *hostmodel.Host
+	b          binding
+	ov         Overheads
+	seq        int32
+
+	posted     []*Request
+	unexpected []inMsg
+	barrierSeq int
+
+	stats Stats
+}
+
+// Rank reports this process's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// Stats returns a copy of the counters.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// Host exposes the host model (examples charge compute time through it).
+func (c *Comm) Host() *hostmodel.Host { return c.host }
+
+func (c *Comm) encodeHeader(tag int, n int, kind int32) []byte {
+	h := make([]byte, HeaderSize)
+	binary.LittleEndian.PutUint32(h[0:], uint32(int32(c.rank)))
+	binary.LittleEndian.PutUint32(h[4:], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(h[8:], 0) // context: COMM_WORLD
+	binary.LittleEndian.PutUint32(h[12:], uint32(int32(n)))
+	c.seq++
+	binary.LittleEndian.PutUint32(h[16:], uint32(c.seq))
+	binary.LittleEndian.PutUint32(h[20:], uint32(kind))
+	return h
+}
+
+func decodeHeader(h []byte) (src, tag, n int, kind int32) {
+	src = int(int32(binary.LittleEndian.Uint32(h[0:])))
+	tag = int(int32(binary.LittleEndian.Uint32(h[4:])))
+	n = int(int32(binary.LittleEndian.Uint32(h[12:])))
+	kind = int32(binary.LittleEndian.Uint32(h[20:]))
+	return
+}
+
+// Send transmits buf to rank dst with the given tag (eager protocol: it
+// returns when the buffer is reusable, which for FM means when the message
+// has been handed to the NIC under flow control).
+func (c *Comm) Send(p *sim.Proc, buf []byte, dst, tag int) error {
+	if dst < 0 || dst >= c.size {
+		return fmt.Errorf("mpifm: bad rank %d", dst)
+	}
+	if len(buf) > c.b.maxPayload() {
+		return fmt.Errorf("mpifm: message of %d bytes exceeds transport limit %d",
+			len(buf), c.b.maxPayload())
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpifm: negative tag %d", tag)
+	}
+	p.Delay(c.ov.Send)
+	hdr := c.encodeHeader(tag, len(buf), kindPt2Pt)
+	if err := c.b.send(p, dst, hdr, buf); err != nil {
+		return err
+	}
+	c.stats.Sent++
+	return nil
+}
+
+// Isend starts a send; with the eager protocol it completes immediately
+// after local hand-off, matching MPI semantics for small messages.
+func (c *Comm) Isend(p *sim.Proc, buf []byte, dst, tag int) (*Request, error) {
+	if err := c.Send(p, buf, dst, tag); err != nil {
+		return nil, err
+	}
+	return &Request{c: c, done: true, st: Status{Source: c.rank, Tag: tag, Len: len(buf)}}, nil
+}
+
+// Irecv posts a receive for (src, tag) into buf and returns its Request.
+// src may be AnySource and tag AnyTag.
+func (c *Comm) Irecv(p *sim.Proc, buf []byte, src, tag int) (*Request, error) {
+	if src != AnySource && (src < 0 || src >= c.size) {
+		return nil, fmt.Errorf("mpifm: bad source %d", src)
+	}
+	req := &Request{c: c, buf: buf, src: src, tag: tag}
+	// An already-buffered unexpected message wins first.
+	if m := c.takeUnexpected(src, tag); m != nil {
+		c.completeFromPool(p, req, m)
+		return req, nil
+	}
+	c.posted = append(c.posted, req)
+	return req, nil
+}
+
+// Wait blocks (in virtual time) until req completes, driving progress.
+func (c *Comm) Wait(p *sim.Proc, req *Request) Status {
+	for !req.done {
+		c.b.progress(p, c.progressLimit(req))
+	}
+	return req.st
+}
+
+// Waitall drives progress until every request completes.
+func (c *Comm) Waitall(p *sim.Proc, reqs []*Request) {
+	for _, r := range reqs {
+		c.Wait(p, r)
+	}
+}
+
+// Recv blocks until a matching message lands in buf.
+func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) (Status, error) {
+	req, err := c.Irecv(p, buf, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return c.Wait(p, req), nil
+}
+
+// progressLimit is the Extract byte budget while a receive is pending: one
+// byte, which FM rounds up to exactly one packet. Packet-at-a-time pacing
+// stops extraction the moment the posted message completes, so no data for
+// a not-yet-posted receive is pulled out of FM and forced through the
+// buffer pool — the receiver-flow-control discipline of paper §4.1.
+func (c *Comm) progressLimit(req *Request) int { return 1 }
+
+// takePosted removes and returns the first posted receive matching
+// (src, tag), or nil. FIFO order among equal matches preserves MPI's
+// non-overtaking guarantee.
+func (c *Comm) takePosted(src, tag int) *Request {
+	for i, r := range c.posted {
+		if (r.src == AnySource || r.src == src) && (r.tag == AnyTag || r.tag == tag) {
+			c.posted = append(c.posted[:i], c.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// takeUnexpected removes and returns the first buffered message matching
+// (src, tag), or nil.
+func (c *Comm) takeUnexpected(src, tag int) *inMsg {
+	for i := range c.unexpected {
+		m := &c.unexpected[i]
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			out := *m
+			c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
+			return &out
+		}
+	}
+	return nil
+}
+
+// enqueueUnexpected files a fully-buffered unexpected message. A matching
+// receive may have been posted while the message was still streaming in
+// (after its header was matched against an empty posted queue); it must be
+// completed now, or it would wait forever for a message that has already
+// arrived. Per-sender FIFO delivery guarantees the earliest matching posted
+// receive gets the earliest message, preserving MPI non-overtaking.
+func (c *Comm) enqueueUnexpected(p *sim.Proc, src, tag int, data []byte) {
+	if req := c.takePosted(src, tag); req != nil {
+		c.completeFromPool(p, req, &inMsg{src: src, tag: tag, data: data})
+		return
+	}
+	c.unexpected = append(c.unexpected, inMsg{src: src, tag: tag, data: data})
+}
+
+// completeFromPool finishes a receive from the unexpected queue: the extra
+// pool-to-user copy of the unexpected path.
+func (c *Comm) completeFromPool(p *sim.Proc, req *Request, m *inMsg) {
+	n := copy(req.buf, m.data)
+	c.host.Memcpy(p, n)
+	p.Delay(c.ov.Recv)
+	req.done = true
+	req.st = Status{Source: m.src, Tag: m.tag, Len: n}
+	c.stats.Recvd++
+}
+
+// complete finishes a posted receive whose data already landed in buf.
+func (c *Comm) complete(req *Request, src, tag, n int) {
+	req.done = true
+	req.st = Status{Source: src, Tag: tag, Len: n}
+	c.stats.Recvd++
+}
+
+// Barrier synchronizes all ranks (central-coordinator algorithm over
+// pt2pt, as early MPICH implementations used).
+func (c *Comm) Barrier(p *sim.Proc) error {
+	c.barrierSeq++
+	tag := 1<<20 + c.barrierSeq // reserved tag space
+	one := []byte{1}
+	scratch := make([]byte, 1)
+	if c.rank == 0 {
+		for i := 1; i < c.size; i++ {
+			if _, err := c.Recv(p, scratch, AnySource, tag); err != nil {
+				return err
+			}
+		}
+		for i := 1; i < c.size; i++ {
+			if err := c.Send(p, one, i, tag); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(p, one, 0, tag); err != nil {
+		return err
+	}
+	_, err := c.Recv(p, scratch, 0, tag)
+	return err
+}

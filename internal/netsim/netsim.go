@@ -1,0 +1,181 @@
+// Package netsim models the Myrinet network fabric: point-to-point links
+// with bounded bandwidth and propagation delay, crossbar switches with
+// source routing, and — critically for Fast Messages — link-level
+// back-pressure and no buffering inside the fabric beyond per-port slots.
+//
+// FM's reliability argument (paper §3.1) leans on four Myrinet properties:
+// very low bit error rate, absence of buffering in the fabric, deterministic
+// source routing, and link-level flow control by back-pressure. Each is an
+// explicit, testable feature of this model.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Packet is the unit the fabric moves. Payload is opaque to the network;
+// Route is the Myrinet-style source route: one output-port byte consumed at
+// each switch along the path.
+type Packet struct {
+	Src, Dst int     // node IDs (endpoint bookkeeping, not used for routing)
+	Route    []uint8 // remaining hops
+	Payload  []byte
+	Ctrl     bool     // control packet: receiving NICs demux it to a dedicated queue
+	Inject   sim.Time // time the packet entered the fabric
+	Seq      uint64   // injection sequence number (diagnostics)
+}
+
+// Size is the number of payload bytes; framing overhead is added per link
+// according to the link configuration.
+func (p *Packet) Size() int { return len(p.Payload) }
+
+// LinkConfig describes one unidirectional link.
+type LinkConfig struct {
+	BandwidthMBps float64  // serialization rate
+	PropDelay     sim.Time // wire propagation delay
+	Slots         int      // downstream input-queue depth (>=1); small = hard back-pressure
+	FrameOverhead int      // framing bytes added to every packet on the wire
+	DropProb      float64  // per-packet loss probability (fault injection; default 0)
+	CorruptProb   float64  // per-packet corruption probability (fault injection; default 0)
+	Seed          int64    // fault-injection RNG seed (deterministic)
+}
+
+// DefaultMyrinet is the link configuration used by the machine profiles:
+// 1.28 Gb/s Myrinet (~160 MB/s), sub-microsecond propagation, shallow
+// per-port slack, 8 framing bytes (route + type + CRC).
+func DefaultMyrinet() LinkConfig {
+	return LinkConfig{
+		BandwidthMBps: 160,
+		PropDelay:     200 * sim.Nanosecond,
+		Slots:         2,
+		FrameOverhead: 8,
+	}
+}
+
+// LinkStats counts traffic through a link.
+type LinkStats struct {
+	Packets   int64
+	Bytes     int64 // payload bytes
+	WireBytes int64 // payload + framing
+	Dropped   int64
+	Corrupted int64
+}
+
+// Link is a unidirectional wire from one element to the input queue of the
+// next. Send serializes the packet at link bandwidth and blocks (holding the
+// link — back-pressure) while the downstream queue is full.
+type Link struct {
+	name  string
+	cfg   LinkConfig
+	xmit  *sim.Resource
+	dst   *sim.Chan[*Packet]
+	rng   *rand.Rand
+	stats LinkStats
+}
+
+// NewLink creates a link delivering into dst.
+func NewLink(k *sim.Kernel, name string, cfg LinkConfig, dst *sim.Chan[*Packet]) *Link {
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	l := &Link{
+		name: name,
+		cfg:  cfg,
+		xmit: sim.NewResource(k, "link:"+name, 1),
+		dst:  dst,
+	}
+	if cfg.DropProb > 0 || cfg.CorruptProb > 0 {
+		l.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return l
+}
+
+// Send transmits pkt. The calling Proc is charged serialization and
+// propagation time and stalls under back-pressure from downstream.
+func (l *Link) Send(p *sim.Proc, pkt *Packet) {
+	l.xmit.Acquire(p, 1)
+	wire := pkt.Size() + l.cfg.FrameOverhead
+	p.Delay(sim.BytesTime(wire, l.cfg.BandwidthMBps) + l.cfg.PropDelay)
+	l.stats.Packets++
+	l.stats.Bytes += int64(pkt.Size())
+	l.stats.WireBytes += int64(wire)
+	if l.rng != nil {
+		if l.rng.Float64() < l.cfg.DropProb {
+			l.stats.Dropped++
+			l.xmit.Release(1)
+			return
+		}
+		if l.rng.Float64() < l.cfg.CorruptProb && len(pkt.Payload) > 0 {
+			// Flip one bit in a copy so other references stay intact.
+			cp := append([]byte(nil), pkt.Payload...)
+			i := l.rng.Intn(len(cp))
+			cp[i] ^= 1 << uint(l.rng.Intn(8))
+			pkt = &Packet{Src: pkt.Src, Dst: pkt.Dst, Route: pkt.Route,
+				Payload: cp, Ctrl: pkt.Ctrl, Inject: pkt.Inject, Seq: pkt.Seq}
+			l.stats.Corrupted++
+		}
+	}
+	// Holding xmit while the downstream queue is full propagates stalls
+	// upstream: Myrinet back-pressure.
+	l.dst.Send(p, pkt)
+	l.xmit.Release(1)
+}
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Name reports the link's debug name.
+func (l *Link) Name() string { return l.name }
+
+// Switch is a crossbar with source routing: the head byte of each packet's
+// route selects the output port and is consumed. One forwarder daemon per
+// input port moves packets; output contention is resolved by the output
+// link's FIFO transmit resource.
+type Switch struct {
+	name       string
+	in         []*sim.Chan[*Packet]
+	out        []*Link
+	routeDelay sim.Time
+}
+
+// NewSwitch creates a switch with the given number of ports. Output links
+// must be attached with SetOut before Start.
+func NewSwitch(k *sim.Kernel, name string, ports int, routeDelay sim.Time, slots int) *Switch {
+	s := &Switch{name: name, out: make([]*Link, ports), routeDelay: routeDelay}
+	for i := 0; i < ports; i++ {
+		s.in = append(s.in, sim.NewChan[*Packet](k, slots))
+	}
+	return s
+}
+
+// In returns the input queue for port i (the place upstream links deliver).
+func (s *Switch) In(i int) *sim.Chan[*Packet] { return s.in[i] }
+
+// SetOut attaches the output link for port i.
+func (s *Switch) SetOut(i int, l *Link) { s.out[i] = l }
+
+// Start spawns the per-port forwarder daemons.
+func (s *Switch) Start(k *sim.Kernel) {
+	for i := range s.in {
+		in := s.in[i]
+		k.SpawnDaemon(fmt.Sprintf("%s.fwd%d", s.name, i), func(p *sim.Proc) {
+			for {
+				pkt := in.Recv(p)
+				if len(pkt.Route) == 0 {
+					panic(fmt.Sprintf("netsim: packet from %d to %d exhausted its route at switch %s",
+						pkt.Src, pkt.Dst, s.name))
+				}
+				port := pkt.Route[0]
+				pkt.Route = pkt.Route[1:]
+				if int(port) >= len(s.out) || s.out[port] == nil {
+					panic(fmt.Sprintf("netsim: bad route byte %d at switch %s", port, s.name))
+				}
+				p.Delay(s.routeDelay)
+				s.out[port].Send(p, pkt)
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Iface is a node's attachment point to the fabric: an input queue the NIC
+// drains and an egress link the NIC transmits on. Route lookup is done by
+// the owning Network when a packet is injected.
+type Iface struct {
+	ID  int
+	In  *sim.Chan[*Packet]
+	net *Network
+	out *Link
+	seq uint64
+}
+
+// Send injects a packet toward pkt.Dst, attaching the source route.
+func (ifc *Iface) Send(p *sim.Proc, pkt *Packet) {
+	pkt.Src = ifc.ID
+	pkt.Route = ifc.net.Route(ifc.ID, pkt.Dst)
+	pkt.Inject = p.Now()
+	pkt.Seq = ifc.seq
+	ifc.seq++
+	ifc.out.Send(p, pkt)
+}
+
+// EgressStats reports this node's injection-link counters.
+func (ifc *Iface) EgressStats() LinkStats { return ifc.out.Stats() }
+
+// Network is an assembled fabric with per-pair source routes.
+type Network struct {
+	K      *sim.Kernel
+	ifaces []*Iface
+	routes [][][]uint8 // routes[src][dst]
+	links  []*Link
+	desc   string
+}
+
+// Nodes reports the number of attached nodes.
+func (n *Network) Nodes() int { return len(n.ifaces) }
+
+// Iface returns node i's interface.
+func (n *Network) Iface(i int) *Iface { return n.ifaces[i] }
+
+// Route returns a copy of the source route from src to dst.
+func (n *Network) Route(src, dst int) []uint8 {
+	r := n.routes[src][dst]
+	return append([]uint8(nil), r...)
+}
+
+// Links returns all links for stats inspection.
+func (n *Network) Links() []*Link { return n.links }
+
+// Describe reports the topology in human-readable form.
+func (n *Network) Describe() string { return n.desc }
+
+func (n *Network) addLink(l *Link) *Link {
+	n.links = append(n.links, l)
+	return l
+}
+
+// NewDirectPair wires two nodes back to back with one link each way —
+// the minimal configuration used by the paper's two-node microbenchmarks
+// when no switch latency should be charged.
+func NewDirectPair(k *sim.Kernel, cfg LinkConfig) *Network {
+	n := &Network{K: k, desc: "direct pair"}
+	a := &Iface{ID: 0, In: sim.NewChan[*Packet](k, cfg.Slots), net: n}
+	b := &Iface{ID: 1, In: sim.NewChan[*Packet](k, cfg.Slots), net: n}
+	a.out = n.addLink(NewLink(k, "0->1", cfg, b.In))
+	b.out = n.addLink(NewLink(k, "1->0", cfg, a.In))
+	n.ifaces = []*Iface{a, b}
+	n.routes = [][][]uint8{{nil, {}}, {{}, nil}}
+	return n
+}
+
+// NewSingleSwitch builds the canonical Myrinet cluster: nodes hanging off
+// one crossbar. The route from a to b is the single byte [b].
+func NewSingleSwitch(k *sim.Kernel, nodes int, cfg LinkConfig, routeDelay sim.Time) *Network {
+	n := &Network{K: k, desc: fmt.Sprintf("%d nodes on one crossbar", nodes)}
+	sw := NewSwitch(k, "sw0", nodes, routeDelay, cfg.Slots)
+	for i := 0; i < nodes; i++ {
+		ifc := &Iface{ID: i, In: sim.NewChan[*Packet](k, cfg.Slots), net: n}
+		ifc.out = n.addLink(NewLink(k, fmt.Sprintf("n%d->sw", i), cfg, sw.In(i)))
+		sw.SetOut(i, n.addLink(NewLink(k, fmt.Sprintf("sw->n%d", i), cfg, ifc.In)))
+		n.ifaces = append(n.ifaces, ifc)
+	}
+	sw.Start(k)
+	n.routes = make([][][]uint8, nodes)
+	for a := 0; a < nodes; a++ {
+		n.routes[a] = make([][]uint8, nodes)
+		for b := 0; b < nodes; b++ {
+			if a != b {
+				n.routes[a][b] = []uint8{uint8(b)}
+			}
+		}
+	}
+	return n
+}
+
+// NewLine builds a chain of switches with hostsPerSwitch nodes on each —
+// exercises multi-hop source routing and trunk contention. Switch port map:
+// 0..h-1 host ports, h = left trunk, h+1 = right trunk.
+func NewLine(k *sim.Kernel, switches, hostsPerSwitch int, cfg LinkConfig, routeDelay sim.Time) *Network {
+	h := hostsPerSwitch
+	n := &Network{K: k, desc: fmt.Sprintf("line of %d switches x %d hosts", switches, h)}
+	sws := make([]*Switch, switches)
+	for s := range sws {
+		sws[s] = NewSwitch(k, fmt.Sprintf("sw%d", s), h+2, routeDelay, cfg.Slots)
+	}
+	for s := 0; s < switches; s++ {
+		for l := 0; l < h; l++ {
+			id := s*h + l
+			ifc := &Iface{ID: id, In: sim.NewChan[*Packet](k, cfg.Slots), net: n}
+			ifc.out = n.addLink(NewLink(k, fmt.Sprintf("n%d->sw%d", id, s), cfg, sws[s].In(l)))
+			sws[s].SetOut(l, n.addLink(NewLink(k, fmt.Sprintf("sw%d->n%d", s, id), cfg, ifc.In)))
+			n.ifaces = append(n.ifaces, ifc)
+		}
+		if s > 0 { // trunk to the left neighbor
+			sws[s].SetOut(h, n.addLink(NewLink(k, fmt.Sprintf("sw%d->sw%d", s, s-1), cfg, sws[s-1].In(h+1))))
+		}
+		if s < switches-1 { // trunk to the right neighbor
+			sws[s].SetOut(h+1, n.addLink(NewLink(k, fmt.Sprintf("sw%d->sw%d", s, s+1), cfg, sws[s+1].In(h))))
+		}
+	}
+	for _, sw := range sws {
+		sw.Start(k)
+	}
+	total := switches * h
+	n.routes = make([][][]uint8, total)
+	for a := 0; a < total; a++ {
+		n.routes[a] = make([][]uint8, total)
+		sa := a / h
+		for b := 0; b < total; b++ {
+			if a == b {
+				continue
+			}
+			sb, lb := b/h, b%h
+			var r []uint8
+			switch {
+			case sb > sa:
+				for i := 0; i < sb-sa; i++ {
+					r = append(r, uint8(h+1)) // go right
+				}
+			case sb < sa:
+				for i := 0; i < sa-sb; i++ {
+					r = append(r, uint8(h)) // go left
+				}
+			}
+			r = append(r, uint8(lb))
+			n.routes[a][b] = r
+		}
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+// Package shmem implements a Shmem-style one-sided Put/Get interface over
+// FM 2.x — one of the global-address-space APIs the paper reports layering
+// on FM (§4.2: "we have implemented other APIs, including Shmem Put/Get and
+// Global Arrays").
+//
+// Each node registers named memory regions. Put writes into a remote
+// region; Get reads from one. The FM 2.x receive handler scatters incoming
+// Put payloads directly into the target region — another instance of the
+// zero-staging-copy path that layer interleaving enables.
+package shmem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/fm2"
+	"repro/internal/sim"
+)
+
+// shmemHandlerID is the FM handler slot the shmem layer claims.
+const shmemHandlerID = 3
+
+// header: kind(1) pad(3) region(4) offset(4) length(4) reqID(4).
+const headerSize = 20
+
+const (
+	kindPut = iota + 1
+	kindPutAck
+	kindGetReq
+	kindGetResp
+)
+
+// Stats counts one-sided operations.
+type Stats struct {
+	Puts, Gets     int64
+	PutBytes       int64
+	GetBytes       int64
+	RemotePuts     int64 // puts landed into local regions
+	RemoteGetReqs  int64
+	DirectPutBytes int64 // put payload scattered straight into the region
+}
+
+// Node is one rank's shmem attachment.
+type Node struct {
+	ep      *fm2.Endpoint
+	regions map[uint32][]byte
+	pending int // outstanding put acks
+	getWait map[uint32][]byte
+	getDone map[uint32]bool
+	nextReq uint32
+	stats   Stats
+}
+
+// New attaches shmem to an FM 2.x endpoint.
+func New(ep *fm2.Endpoint) *Node {
+	n := &Node{
+		ep:      ep,
+		regions: make(map[uint32][]byte),
+		getWait: make(map[uint32][]byte),
+		getDone: make(map[uint32]bool),
+	}
+	ep.Register(shmemHandlerID, n.handler)
+	return n
+}
+
+// Rank reports the node ID.
+func (n *Node) Rank() int { return n.ep.Node() }
+
+// Stats returns a copy of the counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Register exposes a memory region under an ID. All nodes must register a
+// region before peers address it (symmetric allocation, as in SHMEM).
+func (n *Node) Register(id uint32, mem []byte) {
+	if _, dup := n.regions[id]; dup {
+		panic(fmt.Sprintf("shmem: duplicate region %d", id))
+	}
+	n.regions[id] = mem
+}
+
+// Region returns the local backing store of a region.
+func (n *Node) Region(id uint32) []byte { return n.regions[id] }
+
+func encode(kind int, region uint32, off, length int, req uint32) []byte {
+	h := make([]byte, headerSize)
+	h[0] = byte(kind)
+	binary.LittleEndian.PutUint32(h[4:], region)
+	binary.LittleEndian.PutUint32(h[8:], uint32(off))
+	binary.LittleEndian.PutUint32(h[12:], uint32(length))
+	binary.LittleEndian.PutUint32(h[16:], req)
+	return h
+}
+
+// Put writes data into (region, offset) on the target rank. It returns
+// once the message is handed off; call Quiet to wait for remote completion.
+func (n *Node) Put(p *sim.Proc, target int, region uint32, offset int, data []byte) error {
+	hdr := encode(kindPut, region, offset, len(data), 0)
+	if err := n.ep.SendGather(p, target, shmemHandlerID, hdr, data); err != nil {
+		return err
+	}
+	n.pending++
+	n.stats.Puts++
+	n.stats.PutBytes += int64(len(data))
+	return nil
+}
+
+// Quiet blocks until every outstanding Put has been acknowledged by its
+// target — the SHMEM quiet/fence semantic.
+func (n *Node) Quiet(p *sim.Proc) {
+	for n.pending > 0 {
+		n.ep.Extract(p, 0)
+	}
+}
+
+// Get reads length bytes from (region, offset) on the target rank into buf.
+func (n *Node) Get(p *sim.Proc, target int, region uint32, offset int, buf []byte) error {
+	req := n.nextReq
+	n.nextReq++
+	n.getWait[req] = buf
+	hdr := encode(kindGetReq, region, offset, len(buf), req)
+	if err := n.ep.Send(p, target, shmemHandlerID, hdr); err != nil {
+		return err
+	}
+	for !n.getDone[req] {
+		n.ep.Extract(p, 0)
+	}
+	delete(n.getDone, req)
+	n.stats.Gets++
+	n.stats.GetBytes += int64(len(buf))
+	return nil
+}
+
+// Progress services the network once; nodes acting as passive targets must
+// call it (or any blocking op) periodically.
+func (n *Node) Progress(p *sim.Proc) { n.ep.Extract(p, 0) }
+
+// handler serves one-sided traffic on FM handler threads.
+func (n *Node) handler(p *sim.Proc, s *fm2.RecvStream) {
+	var hdr [headerSize]byte
+	s.Receive(p, hdr[:])
+	kind := int(hdr[0])
+	region := binary.LittleEndian.Uint32(hdr[4:])
+	off := int(binary.LittleEndian.Uint32(hdr[8:]))
+	length := int(binary.LittleEndian.Uint32(hdr[12:]))
+	req := binary.LittleEndian.Uint32(hdr[16:])
+	switch kind {
+	case kindPut:
+		mem, ok := n.regions[region]
+		if !ok || off < 0 || off+length > len(mem) {
+			s.ReceiveDiscard(p, s.Remaining())
+			return
+		}
+		// Scatter straight into the target region: no staging buffer.
+		s.Receive(p, mem[off:off+length])
+		n.stats.RemotePuts++
+		n.stats.DirectPutBytes += int64(length)
+		if err := n.ep.Send(p, s.Src(), shmemHandlerID, encode(kindPutAck, region, off, length, 0)); err != nil {
+			panic(fmt.Sprintf("shmem: put ack failed: %v", err))
+		}
+	case kindPutAck:
+		n.pending--
+	case kindGetReq:
+		mem, ok := n.regions[region]
+		n.stats.RemoteGetReqs++
+		resp := encode(kindGetResp, region, off, length, req)
+		var payload []byte
+		if ok && off >= 0 && off+length <= len(mem) {
+			payload = mem[off : off+length]
+		} else {
+			payload = make([]byte, length) // zeros for an invalid request
+		}
+		if err := n.ep.SendGather(p, s.Src(), shmemHandlerID, resp, payload); err != nil {
+			panic(fmt.Sprintf("shmem: get response failed: %v", err))
+		}
+	case kindGetResp:
+		buf := n.getWait[req]
+		if buf == nil {
+			s.ReceiveDiscard(p, s.Remaining())
+			return
+		}
+		s.Receive(p, buf[:length])
+		delete(n.getWait, req)
+		n.getDone[req] = true
+	default:
+		panic(fmt.Sprintf("shmem: unknown kind %d", kind))
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+// Chan is a bounded FIFO channel in virtual time. A capacity of zero gives
+// rendezvous semantics. Bounded channels are the kernel's primitive for
+// back-pressure: a full channel parks the sender, which is exactly how
+// Myrinet's link-level flow control stalls an upstream stage.
+type Chan[T any] struct {
+	k   *Kernel
+	cap int
+	buf []T
+
+	sendq []chanSend[T]
+	recvq []chanRecv[T]
+}
+
+type chanSend[T any] struct {
+	p *Proc
+	v T
+}
+
+type chanRecv[T any] struct {
+	p    *Proc
+	slot *T
+}
+
+// NewChan creates a channel with the given buffer capacity (>= 0).
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	if capacity < 0 {
+		panic("sim: negative channel capacity")
+	}
+	return &Chan[T]{k: k, cap: capacity}
+}
+
+// Len reports the number of buffered items.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Cap reports the channel capacity.
+func (c *Chan[T]) Cap() int { return c.cap }
+
+// Senders reports the number of parked senders (back-pressure depth).
+func (c *Chan[T]) Senders() int { return len(c.sendq) }
+
+// Send delivers v, parking p while the channel is full.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	// Direct handoff to a waiting receiver (buffer must be empty then).
+	if len(c.recvq) > 0 {
+		r := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		*r.slot = v
+		c.k.wakeNow(r.p)
+		return
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	c.sendq = append(c.sendq, chanSend[T]{p, v})
+	p.park() // woken by a Recv that consumed our value
+}
+
+// TrySend delivers v without blocking; it reports success.
+func (c *Chan[T]) TrySend(v T) bool {
+	if len(c.recvq) > 0 {
+		r := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		*r.slot = v
+		c.k.wakeNow(r.p)
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv takes the next item, parking p while the channel is empty.
+func (c *Chan[T]) Recv(p *Proc) T {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		c.admitSender()
+		return v
+	}
+	if len(c.sendq) > 0 { // unbuffered rendezvous
+		s := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		c.k.wakeNow(s.p)
+		return s.v
+	}
+	var slot T
+	c.recvq = append(c.recvq, chanRecv[T]{p, &slot})
+	p.park() // woken by a Send that filled slot
+	return slot
+}
+
+// TryRecv takes the next item without blocking; ok reports success.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		c.admitSender()
+		return v, true
+	}
+	if len(c.sendq) > 0 {
+		s := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		c.k.wakeNow(s.p)
+		return s.v, true
+	}
+	return v, false
+}
+
+// admitSender moves the longest-parked sender's value into freed buffer
+// space, preserving FIFO order, and wakes it.
+func (c *Chan[T]) admitSender() {
+	if len(c.sendq) == 0 || len(c.buf) >= c.cap {
+		return
+	}
+	s := c.sendq[0]
+	c.sendq = c.sendq[1:]
+	c.buf = append(c.buf, s.v)
+	c.k.wakeNow(s.p)
+}

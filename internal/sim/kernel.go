@@ -1,0 +1,322 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// Simulated activities are written as ordinary sequential Go code running in
+// Procs (one goroutine each), but the kernel guarantees that at most one Proc
+// executes at any instant and that Procs are scheduled strictly in virtual
+// time order (FIFO among equal timestamps). Shared simulation state therefore
+// needs no locking, and every run is bit-for-bit reproducible.
+//
+// The kernel is the substitute for real hardware concurrency in this
+// reproduction: host CPUs, NIC firmware, DMA engines, and wires are all Procs
+// and Resources whose interleaving is governed by explicit virtual-time
+// charges instead of wall-clock execution speed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+)
+
+// procKilled is the sentinel panic used to unwind Procs during shutdown.
+type procKilled struct{}
+
+// ErrDeadlock is returned by Run when live Procs remain but no event can
+// ever wake them.
+var ErrDeadlock = errors.New("sim: deadlock: live processes with empty event queue")
+
+// ErrStopped is returned by Run when the simulation was halted by Stop.
+var ErrStopped = errors.New("sim: stopped")
+
+type event struct {
+	t    Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	proc *Proc  // proc to wake (nil if fn event)
+	gen  uint64 // wake generation; stale events are dropped
+	fn   func() // executed in driver context (timers, monitors)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel owns the virtual clock and the event queue.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now      Time
+	eq       eventHeap
+	seq      uint64
+	driverCh chan struct{}
+	running  *Proc
+	procs    map[*Proc]struct{}
+	live     int
+	stopped  bool
+	failure  error
+	horizon  Time // 0 = unbounded
+}
+
+// NewKernel returns an empty simulation at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		driverCh: make(chan struct{}),
+		procs:    make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Stop halts the simulation: Run returns ErrStopped after unwinding all
+// Procs. Safe to call from inside a Proc.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called or a failure occurred.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+func (k *Kernel) push(e event) {
+	e.seq = k.seq
+	k.seq++
+	heap.Push(&k.eq, e)
+}
+
+// At schedules fn to run in driver context at absolute virtual time t
+// (clamped to now if in the past).
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.push(event{t: t, fn: fn})
+}
+
+// After schedules fn to run in driver context after delay d.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// wakeAt schedules p to resume at absolute time t with its current wake
+// generation. Internal: synchronization primitives use this.
+func (k *Kernel) wakeAt(t Time, p *Proc) {
+	if t < k.now {
+		t = k.now
+	}
+	k.push(event{t: t, proc: p, gen: p.wakeGen})
+}
+
+// wakeNow schedules p to resume at the current time (after any events
+// already queued for this instant, preserving FIFO determinism).
+func (k *Kernel) wakeNow(p *Proc) { k.wakeAt(k.now, p) }
+
+// fail records a Proc panic and stops the run.
+func (k *Kernel) fail(err error) {
+	if k.failure == nil {
+		k.failure = err
+	}
+	k.stopped = true
+}
+
+// Run drives the simulation until the event queue is empty, Stop is called,
+// or a Proc panics. It returns nil on a clean drain with no live Procs,
+// ErrDeadlock if live Procs remain unwakeable, ErrStopped after Stop, or the
+// wrapped panic of a failed Proc.
+func (k *Kernel) Run() error { return k.run(0) }
+
+// RunUntil drives the simulation but stops advancing the clock past t;
+// events at exactly t still execute.
+func (k *Kernel) RunUntil(t Time) error { return k.run(t) }
+
+func (k *Kernel) run(horizon Time) error {
+	k.horizon = horizon
+	for !k.stopped && len(k.eq) > 0 {
+		ev := heap.Pop(&k.eq).(event)
+		if horizon != 0 && ev.t > horizon {
+			// Past the horizon: put it back and stop the clock here.
+			heap.Push(&k.eq, ev)
+			k.now = horizon
+			return nil
+		}
+		k.now = ev.t
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		p := ev.proc
+		if p.done || ev.gen != p.wakeGen {
+			continue // stale wakeup (proc already woken another way)
+		}
+		p.resume <- struct{}{}
+		<-k.driverCh
+	}
+	if horizon != 0 && k.failure == nil && !k.stopped {
+		// Bounded run whose queue drained early: a resumable pause, not a
+		// deadlock. Procs stay parked; the caller may schedule more events
+		// and Run again, or call Shutdown to unwind.
+		return nil
+	}
+	defer k.unwindAll()
+	if k.failure != nil {
+		return k.failure
+	}
+	if k.stopped {
+		return ErrStopped
+	}
+	if k.live > 0 {
+		return fmt.Errorf("%w: %s", ErrDeadlock, k.liveNames())
+	}
+	return nil
+}
+
+func (k *Kernel) liveNames() string {
+	var names []string
+	for p := range k.procs {
+		if !p.done && !p.daemon {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// Shutdown terminates every still-parked Proc so its goroutine exits. Call
+// after a bounded run (RunUntil) that will not be resumed; the kernel is
+// unusable afterwards.
+func (k *Kernel) Shutdown() { k.unwindAll() }
+
+// unwindAll terminates every still-blocked Proc so their goroutines exit.
+func (k *Kernel) unwindAll() {
+	k.stopped = true
+	for p := range k.procs {
+		if p.done {
+			continue
+		}
+		p.wakeGen++ // invalidate pending events
+		p.resume <- struct{}{}
+		<-k.driverCh
+	}
+}
+
+// Proc is a simulated sequential process. All blocking methods must be
+// called only from the Proc's own goroutine.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan struct{}
+	wakeGen uint64
+	done    bool
+	daemon  bool
+	started bool
+}
+
+// Name reports the Proc's debug name.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a Proc that begins executing fn at the current virtual time
+// (after already-queued events at this instant).
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnDaemon creates a service Proc (NIC firmware, switch forwarder) that
+// is expected to block forever; daemons do not count toward deadlock
+// detection and are unwound silently when the simulation drains.
+func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	p := k.SpawnAt(k.now, name, fn)
+	p.daemon = true
+	k.live--
+	return p
+}
+
+// SpawnAt creates a Proc that begins executing fn at absolute time t.
+func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs[p] = struct{}{}
+	k.live++
+	go func() {
+		<-p.resume
+		if k.stopped {
+			p.done = true
+			if !p.daemon {
+				k.live--
+			}
+			k.driverCh <- struct{}{}
+			return
+		}
+		k.running = p
+		p.started = true
+		defer func() {
+			p.done = true
+			if !p.daemon {
+				k.live--
+			}
+			k.running = nil
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					k.fail(fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack()))
+				}
+			}
+			k.driverCh <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.wakeAt(t, p)
+	return p
+}
+
+// park blocks the Proc until something wakes it. The caller must have
+// arranged a wakeup (a scheduled event or registration in a wait queue)
+// before calling park, or the kernel will detect a deadlock.
+func (p *Proc) park() {
+	k := p.k
+	k.running = nil
+	k.driverCh <- struct{}{}
+	<-p.resume
+	p.wakeGen++ // any other pending wakeups for the old park are now stale
+	if k.stopped {
+		panic(procKilled{})
+	}
+	k.running = p
+}
+
+// Delay advances the Proc's virtual time by d, letting other Procs run.
+// This is how simulated code charges CPU, bus, or wire time.
+func (p *Proc) Delay(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d in proc %q", d, p.name))
+	}
+	p.k.wakeAt(p.k.now+d, p)
+	p.park()
+}
+
+// Yield reschedules the Proc at the current instant behind all events
+// already queued for this time, giving equal-time events a chance to run.
+func (p *Proc) Yield() {
+	p.k.wakeNow(p)
+	p.park()
+}

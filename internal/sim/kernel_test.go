@@ -1,0 +1,587 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestDelayAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.Spawn("p", func(p *Proc) {
+		p.Delay(5 * Microsecond)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*Microsecond {
+		t.Fatalf("got %v, want 5us", at)
+	}
+	if k.Now() != 5*Microsecond {
+		t.Fatalf("kernel clock %v, want 5us", k.Now())
+	}
+}
+
+func TestEventOrderingFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.SpawnAt(Time(3*Microsecond), fmt.Sprintf("p%d", i), func(p *Proc) {
+			order = append(order, i)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of spawn order: %v", order)
+		}
+	}
+}
+
+func TestInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var trace []string
+		for i := 0; i < 5; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Delay(Time(i+1) * Microsecond)
+					trace = append(trace, fmt.Sprintf("%d@%v", i, p.Now()))
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic trace length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := NewKernel()
+	var childRan bool
+	k.Spawn("parent", func(p *Proc) {
+		p.Delay(Microsecond)
+		k.Spawn("child", func(c *Proc) {
+			c.Delay(Microsecond)
+			childRan = true
+		})
+		p.Delay(5 * Microsecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	k.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Delay(Microsecond)
+			ticks++
+		}
+	})
+	if err := k.RunUntil(10 * Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if k.Now() != 10*Microsecond {
+		t.Fatalf("clock %v, want 10us", k.Now())
+	}
+	// Resume to completion.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 100 {
+		t.Fatalf("ticks = %d, want 100 after resume", ticks)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	var sig Signal
+	k.Spawn("stuck", func(p *Proc) { sig.Wait(p) })
+	err := k.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("boom", func(p *Proc) {
+		p.Delay(Microsecond)
+		panic("kaboom")
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected error from panicking proc")
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	steps := 0
+	k.Spawn("loop", func(p *Proc) {
+		for {
+			p.Delay(Microsecond)
+			steps++
+			if steps == 5 {
+				k.Stop()
+			}
+		}
+	})
+	err := k.Run()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if steps != 5 {
+		t.Fatalf("steps = %d, want 5", steps)
+	}
+}
+
+func TestTimerCallback(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	k.At(3*Microsecond, func() { fired = append(fired, k.Now()) })
+	k.After(7*Microsecond, func() { fired = append(fired, k.Now()) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != 3*Microsecond || fired[1] != 7*Microsecond {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSignalWakesFIFO(t *testing.T) {
+	k := NewKernel()
+	var sig Signal
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			sig.Wait(p)
+			order = append(order, i)
+		})
+	}
+	k.Spawn("kicker", func(p *Proc) {
+		p.Delay(Microsecond)
+		sig.Broadcast()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("broadcast order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSignalTimeout(t *testing.T) {
+	k := NewKernel()
+	var sig Signal
+	var gotSignal, timedOut bool
+	k.Spawn("timeout", func(p *Proc) {
+		timedOut = !sig.WaitTimeout(p, 2*Microsecond)
+	})
+	k.Spawn("signaled", func(p *Proc) {
+		gotSignal = sig.WaitTimeout(p, 100*Microsecond)
+	})
+	k.Spawn("kicker", func(p *Proc) {
+		p.Delay(10 * Microsecond)
+		sig.Broadcast()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut {
+		t.Fatal("first waiter should have timed out")
+	}
+	if !gotSignal {
+		t.Fatal("second waiter should have been signaled")
+	}
+	if sig.Waiters() != 0 {
+		t.Fatalf("stale waiters: %d", sig.Waiters())
+	}
+}
+
+func TestSignalTimeoutNoDoubleWake(t *testing.T) {
+	// A proc signaled before its timeout must not be woken again by the
+	// stale timer while parked on something else.
+	k := NewKernel()
+	var sig Signal
+	var r *Resource
+	r = NewResource(k, "res", 1)
+	var done bool
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Delay(50 * Microsecond)
+		r.Release(1)
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		if !sig.WaitTimeout(p, 20*Microsecond) {
+			t.Error("should have been signaled at 1us")
+		}
+		r.Acquire(p, 1) // parks until 50us; stale timer at 20us must not wake us
+		if p.Now() != 50*Microsecond {
+			t.Errorf("woken at %v, want 50us", p.Now())
+		}
+		r.Release(1)
+		done = true
+	})
+	k.Spawn("kicker", func(p *Proc) {
+		p.Delay(Microsecond)
+		sig.Broadcast()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("waiter did not finish")
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bus", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.SpawnAt(Time(i)*Microsecond, fmt.Sprintf("u%d", i), func(p *Proc) {
+			r.Use(p, 10*Microsecond)
+			order = append(order, i)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order %v, want FIFO", order)
+		}
+	}
+	if k.Now() != 50*Microsecond {
+		t.Fatalf("end time %v, want 50us (serialized)", k.Now())
+	}
+}
+
+func TestResourceNoQueueJumping(t *testing.T) {
+	// A 1-unit request behind a queued 3-unit request must not jump ahead.
+	k := NewKernel()
+	r := NewResource(k, "pool", 3)
+	var order []string
+	k.SpawnAt(0, "big-holder", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Delay(10 * Microsecond)
+		r.Release(2)
+	})
+	k.SpawnAt(Microsecond, "wants3", func(p *Proc) {
+		r.Acquire(p, 3)
+		order = append(order, "wants3")
+		r.Release(3)
+	})
+	k.SpawnAt(2*Microsecond, "wants1", func(p *Proc) {
+		r.Acquire(p, 1)
+		order = append(order, "wants1")
+		r.Release(1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "wants3" || order[1] != "wants1" {
+		t.Fatalf("order = %v, want [wants3 wants1]", order)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "dev", 1)
+	k.Spawn("u", func(p *Proc) {
+		r.Use(p, 10*Microsecond)
+		p.Delay(10 * Microsecond)
+		r.Use(p, 10*Microsecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.BusyTime() != 20*Microsecond {
+		t.Fatalf("busy %v, want 20us", r.BusyTime())
+	}
+}
+
+func TestMutex(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	counter := 0
+	for i := 0; i < 10; i++ {
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			m.Lock(p)
+			c := counter
+			p.Delay(Microsecond) // would race without the mutex
+			counter = c + 1
+			m.Unlock()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 10 {
+		t.Fatalf("counter = %d, want 10", counter)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := NewKernel()
+	var wg WaitGroup
+	var finished Time
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Delay(Time(i*10) * Microsecond)
+			wg.Done()
+		})
+	}
+	k.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		finished = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != 30*Microsecond {
+		t.Fatalf("finished at %v, want 30us", finished)
+	}
+}
+
+func TestPerByteAndBytesTime(t *testing.T) {
+	if PerByte(1000) != Nanosecond {
+		t.Fatalf("PerByte(1000 MB/s) = %v, want 1ns", PerByte(1000))
+	}
+	if BytesTime(1000, 100) != 10*Microsecond {
+		t.Fatalf("BytesTime(1000B, 100MB/s) = %v, want 10us", BytesTime(1000, 100))
+	}
+	if got := MBps(1e6, Second); got != 1 {
+		t.Fatalf("MBps = %v, want 1", got)
+	}
+}
+
+// Property: for any schedule of producer delays and channel capacity, all
+// items arrive exactly once, in order, and the channel never holds more than
+// its capacity.
+func TestChanPropertyFIFO(t *testing.T) {
+	f := func(delays []uint8, capacity uint8) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 64 {
+			delays = delays[:64]
+		}
+		cp := int(capacity % 8)
+		k := NewKernel()
+		ch := NewChan[int](k, cp)
+		var got []int
+		k.Spawn("producer", func(p *Proc) {
+			for i, d := range delays {
+				p.Delay(Time(d) * Nanosecond)
+				ch.Send(p, i)
+				if ch.Len() > cp {
+					t.Errorf("channel over capacity: %d > %d", ch.Len(), cp)
+				}
+			}
+		})
+		k.Spawn("consumer", func(p *Proc) {
+			for range delays {
+				v := ch.Recv(p)
+				p.Delay(3 * Nanosecond)
+				got = append(got, v)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Error(err)
+			return false
+		}
+		if len(got) != len(delays) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChanRendezvous(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan[string](k, 0)
+	var sendDone, recvAt Time
+	k.Spawn("sender", func(p *Proc) {
+		ch.Send(p, "hello")
+		sendDone = p.Now()
+	})
+	k.Spawn("receiver", func(p *Proc) {
+		p.Delay(10 * Microsecond)
+		if v := ch.Recv(p); v != "hello" {
+			t.Errorf("got %q", v)
+		}
+		recvAt = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt != 10*Microsecond {
+		t.Fatalf("recv at %v", recvAt)
+	}
+	_ = sendDone
+}
+
+func TestChanBackpressure(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan[int](k, 2)
+	var sendTimes []Time
+	k.Spawn("sender", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			ch.Send(p, i)
+			sendTimes = append(sendTimes, p.Now())
+		}
+	})
+	k.Spawn("slow-consumer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Delay(10 * Microsecond)
+			ch.Recv(p)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// First two sends fill the buffer at t=0; 3rd and 4th stall behind recvs.
+	if sendTimes[0] != 0 || sendTimes[1] != 0 {
+		t.Fatalf("first sends stalled: %v", sendTimes)
+	}
+	if sendTimes[2] != 10*Microsecond || sendTimes[3] != 20*Microsecond {
+		t.Fatalf("backpressure not applied: %v", sendTimes)
+	}
+}
+
+func TestChanTryOps(t *testing.T) {
+	k := NewKernel()
+	ch := NewChan[int](k, 1)
+	k.Spawn("p", func(p *Proc) {
+		if _, ok := ch.TryRecv(); ok {
+			t.Error("TryRecv on empty channel succeeded")
+		}
+		if !ch.TrySend(1) {
+			t.Error("TrySend on empty channel failed")
+		}
+		if ch.TrySend(2) {
+			t.Error("TrySend on full channel succeeded")
+		}
+		v, ok := ch.TryRecv()
+		if !ok || v != 1 {
+			t.Errorf("TryRecv = %d,%v", v, ok)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: resource accounting never exceeds capacity and all users finish.
+func TestResourcePropertyCapacity(t *testing.T) {
+	f := func(reqs []uint8, capacity uint8) bool {
+		cp := int(capacity%4) + 1
+		if len(reqs) > 32 {
+			reqs = reqs[:32]
+		}
+		k := NewKernel()
+		r := NewResource(k, "r", cp)
+		finished := 0
+		for i, rq := range reqs {
+			n := int(rq)%cp + 1
+			k.SpawnAt(Time(i)*Nanosecond, fmt.Sprintf("u%d", i), func(p *Proc) {
+				r.Acquire(p, n)
+				if r.InUse() > cp {
+					t.Errorf("over capacity: %d > %d", r.InUse(), cp)
+				}
+				p.Delay(Time(rq) * Nanosecond)
+				r.Release(n)
+				finished++
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Error(err)
+			return false
+		}
+		return finished == len(reqs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYield(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{5 * Microsecond, "5.000us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}

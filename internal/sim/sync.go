@@ -1,0 +1,191 @@
+package sim
+
+import "fmt"
+
+// Signal is a condition-variable-like wait queue in virtual time.
+// The zero value is ready to use.
+type Signal struct {
+	waiters []*Proc
+}
+
+// Wait parks p until another Proc calls Signal or Broadcast. As with
+// sync.Cond, callers typically re-check their predicate in a loop.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// WaitTimeout parks p until signaled or until d elapses. It reports true if
+// the Proc was signaled and false on timeout.
+func (s *Signal) WaitTimeout(p *Proc, d Time) bool {
+	s.waiters = append(s.waiters, p)
+	p.k.wakeAt(p.k.now+d, p)
+	p.park()
+	// If we are still queued, the wakeup was the timer: remove ourselves.
+	for i, w := range s.waiters {
+		if w == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return false
+		}
+	}
+	return true
+}
+
+// Signal wakes the longest-waiting Proc, if any.
+func (s *Signal) Signal() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	w.k.wakeNow(w)
+}
+
+// Broadcast wakes every waiting Proc in FIFO order.
+func (s *Signal) Broadcast() {
+	for _, w := range s.waiters {
+		w.k.wakeNow(w)
+	}
+	s.waiters = nil
+}
+
+// Waiters reports how many Procs are parked on the Signal.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// Resource is a counted resource (CPU, bus, DMA engine, buffer slots) with
+// strictly FIFO granting: a small request queued behind a large one does not
+// jump the queue, matching the in-order service of the buses being modeled.
+type Resource struct {
+	name  string
+	cap   int
+	inUse int
+	q     []resWait
+
+	// Busy accounting for utilization reports.
+	busy      Time
+	lastStart Time
+	k         *Kernel
+}
+
+type resWait struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given capacity (units).
+func NewResource(k *Kernel, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{name: name, cap: capacity, k: k}
+}
+
+// Acquire obtains n units, parking p until they are available.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.cap {
+		panic(fmt.Sprintf("sim: resource %q: bad acquire %d of %d", r.name, n, r.cap))
+	}
+	if len(r.q) == 0 && r.inUse+n <= r.cap {
+		r.grant(n)
+		return
+	}
+	r.q = append(r.q, resWait{p, n})
+	p.park()
+}
+
+// TryAcquire obtains n units without blocking; it reports success.
+func (r *Resource) TryAcquire(n int) bool {
+	if len(r.q) == 0 && r.inUse+n <= r.cap {
+		r.grant(n)
+		return true
+	}
+	return false
+}
+
+func (r *Resource) grant(n int) {
+	if r.inUse == 0 {
+		r.lastStart = r.k.now
+	}
+	r.inUse += n
+}
+
+// Release returns n units and grants queued waiters in FIFO order.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic(fmt.Sprintf("sim: resource %q: over-release", r.name))
+	}
+	if r.inUse == 0 {
+		r.busy += r.k.now - r.lastStart
+	}
+	for len(r.q) > 0 && r.inUse+r.q[0].n <= r.cap {
+		w := r.q[0]
+		r.q = r.q[1:]
+		r.grant(w.n)
+		r.k.wakeNow(w.p)
+	}
+}
+
+// Use acquires one unit, holds it for d, and releases it: the standard way
+// to model FIFO service time at a device.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p, 1)
+	p.Delay(d)
+	r.Release(1)
+}
+
+// InUse reports currently-held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of waiting acquisitions.
+func (r *Resource) QueueLen() int { return len(r.q) }
+
+// BusyTime reports cumulative time during which at least one unit was held.
+func (r *Resource) BusyTime() Time {
+	b := r.busy
+	if r.inUse > 0 {
+		b += r.k.now - r.lastStart
+	}
+	return b
+}
+
+// Mutex is a one-unit Resource.
+type Mutex struct{ r *Resource }
+
+// NewMutex creates a virtual-time mutex.
+func NewMutex(k *Kernel, name string) *Mutex {
+	return &Mutex{r: NewResource(k, name, 1)}
+}
+
+// Lock acquires the mutex, parking p until available.
+func (m *Mutex) Lock(p *Proc) { m.r.Acquire(p, 1) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.r.Release(1) }
+
+// WaitGroup counts outstanding activities in virtual time.
+type WaitGroup struct {
+	n   int
+	sig Signal
+}
+
+// Add adds delta to the counter.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.sig.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait parks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.n > 0 {
+		wg.sig.Wait(p)
+	}
+}

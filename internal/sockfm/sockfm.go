@@ -1,0 +1,345 @@
+// Package sockfm implements Sockets-FM: Berkeley-style stream sockets over
+// FM 2.x, one of the higher-level APIs the paper layers on FM (§3.2, §4.2).
+// It exercises all three FM 2.x services:
+//
+//   - gather: each segment is sent as socket header + payload pieces;
+//   - layer interleaving: the receive handler reads the header, then lands
+//     payload directly in a posted Read buffer when one is outstanding
+//     (receive posting, as in Berkeley Fast Sockets — paper §5);
+//   - receiver flow control: Read paces extraction to its buffer size.
+//
+// Like FM itself, a Stack is single-threaded: one Proc per node drives all
+// of its sockets.
+package sockfm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/fm2"
+	"repro/internal/sim"
+)
+
+// sockHandlerID is the FM handler slot the socket stack claims.
+const sockHandlerID = 2
+
+// headerSize is the socket segment header: kind(1) pad(1) port(2)
+// srcConn(4) dstConn(4).
+const headerSize = 12
+
+const (
+	kindSYN = iota + 1
+	kindSYNACK
+	kindRST
+	kindDATA
+	kindFIN
+)
+
+// MaxSegment is the largest payload carried by one FM message.
+const MaxSegment = 32 * 1024
+
+// Errors returned by the API.
+var (
+	ErrRefused = errors.New("sockfm: connection refused")
+	ErrClosed  = errors.New("sockfm: connection closed")
+)
+
+// Stack is one node's socket layer.
+type Stack struct {
+	ep        *fm2.Endpoint
+	listeners map[int]*Listener
+	conns     map[uint32]*Conn
+	nextID    uint32
+}
+
+// NewStack attaches a socket stack to an FM 2.x endpoint.
+func NewStack(ep *fm2.Endpoint) *Stack {
+	s := &Stack{
+		ep:        ep,
+		listeners: make(map[int]*Listener),
+		conns:     make(map[uint32]*Conn),
+		nextID:    1,
+	}
+	ep.Register(sockHandlerID, s.handler)
+	return s
+}
+
+// Node reports the stack's node ID.
+func (s *Stack) Node() int { return s.ep.Node() }
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	s       *Stack
+	port    int
+	backlog []*Conn
+}
+
+// Listen opens a listening port.
+func (s *Stack) Listen(port int) (*Listener, error) {
+	if _, busy := s.listeners[port]; busy {
+		return nil, fmt.Errorf("sockfm: port %d in use", port)
+	}
+	l := &Listener{s: s, port: port}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Close stops listening; queued connections are reset.
+func (l *Listener) Close(p *sim.Proc) {
+	delete(l.s.listeners, l.port)
+	for _, c := range l.backlog {
+		l.s.sendCtl(p, c.peerNode, kindRST, l.port, c.localID, c.peerID)
+	}
+	l.backlog = nil
+}
+
+// Accept blocks until an inbound connection is established.
+func (l *Listener) Accept(p *sim.Proc) (*Conn, error) {
+	for len(l.backlog) == 0 {
+		l.s.progress(p, 0)
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	// Complete the handshake.
+	l.s.sendCtl(p, c.peerNode, kindSYNACK, l.port, c.localID, c.peerID)
+	c.state = stateOpen
+	return c, nil
+}
+
+// connState tracks the socket lifecycle.
+type connState int
+
+const (
+	stateConnecting connState = iota
+	stateOpen
+	statePeerClosed // FIN received; reads drain, writes fail
+	stateClosed
+	stateRefused
+)
+
+// Conn is one end of an established stream.
+type Conn struct {
+	s        *Stack
+	localID  uint32
+	peerID   uint32
+	peerNode int
+	port     int
+	state    connState
+
+	rxq      [][]byte // buffered segments (pool path)
+	rxBytes  int
+	posted   []byte // outstanding Read buffer (receive posting)
+	postedN  int    // bytes landed in posted so far
+	landing  bool   // a handler is mid-Receive into posted
+	rxClosed bool   // FIN seen
+
+	// Stats for the zero-copy story.
+	DirectBytes int64 // landed straight into posted Read buffers
+	PooledBytes int64 // buffered first
+}
+
+// Dial opens a connection to (node, port), blocking through the handshake.
+func (s *Stack) Dial(p *sim.Proc, node, port int) (*Conn, error) {
+	c := &Conn{s: s, localID: s.nextID, peerNode: node, port: port, state: stateConnecting}
+	s.nextID++
+	s.conns[c.localID] = c
+	s.sendCtl(p, node, kindSYN, port, c.localID, 0)
+	for c.state == stateConnecting {
+		s.progress(p, 0)
+	}
+	if c.state == stateRefused {
+		delete(s.conns, c.localID)
+		return nil, ErrRefused
+	}
+	return c, nil
+}
+
+// Write sends data, segmenting at MaxSegment. It blocks only on FM flow
+// control, returning once the data is handed to the NIC.
+func (c *Conn) Write(p *sim.Proc, data []byte) (int, error) {
+	if c.state != stateOpen && c.state != statePeerClosed {
+		return 0, ErrClosed
+	}
+	sent := 0
+	for sent < len(data) {
+		n := len(data) - sent
+		if n > MaxSegment {
+			n = MaxSegment
+		}
+		hdr := c.s.encode(kindDATA, c.port, c.localID, c.peerID)
+		if err := c.s.ep.SendGather(p, c.peerNode, sockHandlerID, hdr, data[sent:sent+n]); err != nil {
+			return sent, err
+		}
+		sent += n
+	}
+	return sent, nil
+}
+
+// Read fills buf with available data, blocking until at least one byte
+// arrives or the peer closes (then io.EOF). Reads pace extraction to the
+// buffer size: receiver flow control at the socket layer.
+func (c *Conn) Read(p *sim.Proc, buf []byte) (int, error) {
+	if c.state == stateClosed {
+		return 0, ErrClosed
+	}
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	// Drain buffered segments first.
+	if n := c.drain(p, buf); n > 0 {
+		return n, nil
+	}
+	if c.rxClosed {
+		return 0, io.EOF
+	}
+	// Post the buffer so the handler can land payload directly in it.
+	c.posted = buf
+	c.postedN = 0
+	// Keep driving progress while a handler is mid-landing into buf:
+	// returning early would hand the caller a buffer a descheduled handler
+	// still writes to.
+	for c.landing || (c.postedN == 0 && !c.rxClosed && len(c.rxq) == 0) {
+		c.s.progress(p, len(buf)+headerSize+16)
+	}
+	c.posted = nil
+	if c.postedN > 0 {
+		return c.postedN, nil
+	}
+	if n := c.drain(p, buf); n > 0 {
+		return n, nil
+	}
+	return 0, io.EOF
+}
+
+// drain copies buffered segments into buf (the pool path's second copy).
+func (c *Conn) drain(p *sim.Proc, buf []byte) int {
+	n := 0
+	for n < len(buf) && len(c.rxq) > 0 {
+		seg := c.rxq[0]
+		m := copy(buf[n:], seg)
+		if m == len(seg) {
+			c.rxq = c.rxq[1:]
+		} else {
+			c.rxq[0] = seg[m:]
+		}
+		n += m
+		c.rxBytes -= m
+	}
+	if n > 0 {
+		c.s.ep.Host().Memcpy(p, n)
+	}
+	return n
+}
+
+// Close sends FIN and tears down the local endpoint.
+func (c *Conn) Close(p *sim.Proc) error {
+	if c.state == stateClosed {
+		return nil
+	}
+	if c.state == stateOpen || c.state == statePeerClosed {
+		c.s.sendCtl(p, c.peerNode, kindFIN, c.port, c.localID, c.peerID)
+	}
+	c.state = stateClosed
+	delete(c.s.conns, c.localID)
+	return nil
+}
+
+// Buffered reports bytes waiting in the receive queue.
+func (c *Conn) Buffered() int { return c.rxBytes }
+
+// PeerNode reports the remote node ID.
+func (c *Conn) PeerNode() int { return c.peerNode }
+
+// progress services the network once.
+func (s *Stack) progress(p *sim.Proc, limit int) {
+	s.ep.Extract(p, limit)
+}
+
+func (s *Stack) encode(kind, port int, srcConn, dstConn uint32) []byte {
+	h := make([]byte, headerSize)
+	h[0] = byte(kind)
+	binary.LittleEndian.PutUint16(h[2:], uint16(port))
+	binary.LittleEndian.PutUint32(h[4:], srcConn)
+	binary.LittleEndian.PutUint32(h[8:], dstConn)
+	return h
+}
+
+func (s *Stack) sendCtl(p *sim.Proc, node, kind, port int, srcConn, dstConn uint32) {
+	if err := s.ep.Send(p, node, sockHandlerID, s.encode(kind, port, srcConn, dstConn)); err != nil {
+		panic(fmt.Sprintf("sockfm: control send failed: %v", err))
+	}
+}
+
+// handler demultiplexes inbound segments. It runs on an FM handler thread;
+// for DATA it lands payload directly into a posted Read buffer when one is
+// outstanding (zero staging copy) and buffers otherwise.
+func (s *Stack) handler(p *sim.Proc, str *fm2.RecvStream) {
+	var hdr [headerSize]byte
+	str.Receive(p, hdr[:])
+	kind := int(hdr[0])
+	port := int(binary.LittleEndian.Uint16(hdr[2:]))
+	srcConn := binary.LittleEndian.Uint32(hdr[4:])
+	dstConn := binary.LittleEndian.Uint32(hdr[8:])
+	switch kind {
+	case kindSYN:
+		l := s.listeners[port]
+		if l == nil {
+			s.sendCtl(p, str.Src(), kindRST, port, 0, srcConn)
+			return
+		}
+		c := &Conn{s: s, localID: s.nextID, peerID: srcConn, peerNode: str.Src(),
+			port: port, state: stateConnecting}
+		s.nextID++
+		s.conns[c.localID] = c
+		l.backlog = append(l.backlog, c)
+	case kindSYNACK:
+		if c := s.conns[dstConn]; c != nil && c.state == stateConnecting {
+			c.peerID = srcConn
+			c.state = stateOpen
+		}
+	case kindRST:
+		if c := s.conns[dstConn]; c != nil && c.state == stateConnecting {
+			c.state = stateRefused
+		}
+	case kindFIN:
+		if c := s.conns[dstConn]; c != nil {
+			c.rxClosed = true
+			if c.state == stateOpen {
+				c.state = statePeerClosed
+			}
+		}
+	case kindDATA:
+		c := s.conns[dstConn]
+		n := str.Remaining()
+		if c == nil || c.state == stateClosed {
+			str.ReceiveDiscard(p, n)
+			return
+		}
+		if c.posted != nil && c.postedN < len(c.posted) && len(c.rxq) == 0 {
+			// Receive posting: payload lands straight in the Read buffer.
+			// Only valid while nothing older waits in the queue, or this
+			// segment would overtake buffered bytes.
+			m := len(c.posted) - c.postedN
+			if m > n {
+				m = n
+			}
+			c.landing = true
+			str.Receive(p, c.posted[c.postedN:c.postedN+m])
+			c.postedN += m
+			c.landing = false
+			c.DirectBytes += int64(m)
+			n -= m
+		}
+		if n > 0 {
+			seg := make([]byte, n)
+			str.Receive(p, seg)
+			c.rxq = append(c.rxq, seg)
+			c.rxBytes += n
+			c.PooledBytes += int64(n)
+		}
+	default:
+		panic(fmt.Sprintf("sockfm: unknown segment kind %d", kind))
+	}
+}

@@ -1,0 +1,134 @@
+// Package trafficgen generates message-size distributions matching the
+// studies the paper's §2.1 cites to motivate FM's short-message focus:
+//
+//   - Gusella's diskless-workstation Ethernet study: the majority of
+//     packets under 576 bytes, 60% of those at 50 bytes or less;
+//   - Kay & Pasquale's FDDI measurements: over 99% of TCP packets and 86%
+//     of UDP packets under 200 bytes;
+//   - the SUNY-Buffalo campus traces: average packet sizes of 300-400 B.
+//
+// Generators are deterministic given a seed, so workload benches are
+// reproducible.
+package trafficgen
+
+import "math/rand"
+
+// Dist is a message-size distribution.
+type Dist struct {
+	Name    string
+	buckets []bucket // CDF over size ranges
+}
+
+type bucket struct {
+	cum    float64 // cumulative probability
+	lo, hi int     // size range, inclusive
+}
+
+// Sampler draws sizes from a Dist.
+type Sampler struct {
+	d   Dist
+	rng *rand.Rand
+}
+
+// NewSampler creates a deterministic sampler.
+func (d Dist) NewSampler(seed int64) *Sampler {
+	return &Sampler{d: d, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws one message size.
+func (s *Sampler) Next() int {
+	u := s.rng.Float64()
+	for _, b := range s.d.buckets {
+		if u <= b.cum {
+			if b.hi == b.lo {
+				return b.lo
+			}
+			return b.lo + s.rng.Intn(b.hi-b.lo+1)
+		}
+	}
+	last := s.d.buckets[len(s.d.buckets)-1]
+	return last.hi
+}
+
+// Sizes draws n sizes.
+func (s *Sampler) Sizes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// Mean reports the distribution's analytic mean (midpoint-weighted).
+func (d Dist) Mean() float64 {
+	m, prev := 0.0, 0.0
+	for _, b := range d.buckets {
+		p := b.cum - prev
+		m += p * float64(b.lo+b.hi) / 2
+		prev = b.cum
+	}
+	return m
+}
+
+// FracBelow reports the probability of sizes <= n (bucket-resolution).
+func (d Dist) FracBelow(n int) float64 {
+	f, prev := 0.0, 0.0
+	for _, b := range d.buckets {
+		p := b.cum - prev
+		switch {
+		case b.hi <= n:
+			f += p
+		case b.lo <= n:
+			f += p * float64(n-b.lo+1) / float64(b.hi-b.lo+1)
+		}
+		prev = b.cum
+	}
+	return f
+}
+
+// GusellaEthernet models the diskless-workstation traffic: 60% of the
+// sub-576-byte majority at <= 50 bytes, a spread of NFS-ish mid sizes, and
+// a small tail of full-size packets.
+func GusellaEthernet() Dist {
+	return Dist{Name: "gusella-ethernet", buckets: []bucket{
+		{0.54, 32, 50},    // 60% of the 90% majority: tiny control/ack
+		{0.72, 51, 200},   // small RPC
+		{0.90, 201, 576},  // rest of the <576 majority
+		{1.00, 577, 1500}, // bulk tail
+	}}
+}
+
+// KayPasqualeTCP models the FDDI TCP mix: >99% under 200 bytes.
+func KayPasqualeTCP() Dist {
+	return Dist{Name: "kay-pasquale-tcp", buckets: []bucket{
+		{0.60, 16, 64},
+		{0.992, 65, 199},
+		{1.00, 200, 1500},
+	}}
+}
+
+// KayPasqualeUDP models the FDDI UDP mix: 86% under 200 bytes, dominated
+// by NFS traffic with its 8 KB bulk transfers in the tail.
+func KayPasqualeUDP() Dist {
+	return Dist{Name: "kay-pasquale-udp", buckets: []bucket{
+		{0.50, 16, 96},
+		{0.86, 97, 199},
+		{0.95, 200, 1472},
+		{1.00, 1473, 8192}, // NFS bulk
+	}}
+}
+
+// SUNYCampus models the campus traces: average 300-400 bytes.
+func SUNYCampus() Dist {
+	return Dist{Name: "suny-campus", buckets: []bucket{
+		{0.45, 32, 80},
+		{0.75, 81, 400},
+		{0.92, 401, 1024},
+		{1.00, 1025, 1500},
+	}}
+}
+
+// All returns every distribution, for sweep benches.
+func All() []Dist {
+	return []Dist{GusellaEthernet(), KayPasqualeTCP(), KayPasqualeUDP(), SUNYCampus()}
+}

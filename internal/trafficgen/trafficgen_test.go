@@ -1,0 +1,93 @@
+package trafficgen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCitedFractions(t *testing.T) {
+	// Kay & Pasquale: over 99% of TCP packets under 200 bytes.
+	if f := KayPasqualeTCP().FracBelow(199); f < 0.99 {
+		t.Errorf("TCP frac below 200 = %.3f, want >= 0.99", f)
+	}
+	// 86% of UDP under 200 bytes.
+	if f := KayPasqualeUDP().FracBelow(199); f < 0.84 || f > 0.88 {
+		t.Errorf("UDP frac below 200 = %.3f, want ~0.86", f)
+	}
+	// Gusella: majority below 576 bytes; 60% of those at <= 50 bytes.
+	g := GusellaEthernet()
+	below576 := g.FracBelow(576)
+	if below576 < 0.85 {
+		t.Errorf("gusella frac below 576 = %.3f, want majority", below576)
+	}
+	if r := g.FracBelow(50) / below576; r < 0.55 || r > 0.65 {
+		t.Errorf("gusella <=50B share of sub-576 = %.2f, want ~0.60", r)
+	}
+}
+
+func TestSUNYMeanInRange(t *testing.T) {
+	// SUNY traces: average packet sizes of 300-400 bytes.
+	if m := SUNYCampus().Mean(); m < 300 || m > 400 {
+		t.Errorf("SUNY mean %.0f, want 300-400", m)
+	}
+}
+
+func TestSamplerMatchesCDF(t *testing.T) {
+	for _, d := range All() {
+		s := d.NewSampler(42)
+		const n = 20000
+		below200 := 0
+		for i := 0; i < n; i++ {
+			if s.Next() <= 199 {
+				below200++
+			}
+		}
+		got := float64(below200) / n
+		want := d.FracBelow(199)
+		if got < want-0.03 || got > want+0.03 {
+			t.Errorf("%s: sampled frac<200 %.3f vs analytic %.3f", d.Name, got, want)
+		}
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	a := GusellaEthernet().NewSampler(7).Sizes(100)
+	b := GusellaEthernet().NewSampler(7).Sizes(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different sizes")
+		}
+	}
+	c := GusellaEthernet().NewSampler(8).Sizes(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// Property: samples always fall within the distribution's support.
+func TestPropertySamplesInSupport(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, d := range All() {
+			lo := d.buckets[0].lo
+			hi := d.buckets[len(d.buckets)-1].hi
+			s := d.NewSampler(seed)
+			for i := 0; i < 200; i++ {
+				v := s.Next()
+				if v < lo || v > hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
