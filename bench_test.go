@@ -160,6 +160,40 @@ func BenchmarkAblationCreditWindow(b *testing.B) {
 	b.ReportMetric(c.At(32), "window32_MBps")
 }
 
+// BenchmarkCollectivesAllreduce times an 8-rank 1 KiB Allreduce on both
+// bindings: the collectives extension of the Figure 4/6 efficiency story.
+func BenchmarkCollectivesAllreduce(b *testing.B) {
+	var t1, t2 sim.Time
+	for i := 0; i < b.N; i++ {
+		t1 = bench.CollectiveTime(bench.MPI1, bench.CollAllreduce, mpifm.AlgoAuto, 8, 1024, 1)
+		t2 = bench.CollectiveTime(bench.MPI2, bench.CollAllreduce, mpifm.AlgoAuto, 8, 1024, 1)
+	}
+	b.ReportMetric(t1.Micros(), "fm1_us")
+	b.ReportMetric(t2.Micros(), "fm2_us")
+}
+
+// BenchmarkCollectivesAlltoall times the densest pattern at 16 ranks.
+func BenchmarkCollectivesAlltoall(b *testing.B) {
+	var t1, t2 sim.Time
+	for i := 0; i < b.N; i++ {
+		t1 = bench.CollectiveTime(bench.MPI1, bench.CollAlltoall, mpifm.AlgoAuto, 16, 512, 1)
+		t2 = bench.CollectiveTime(bench.MPI2, bench.CollAlltoall, mpifm.AlgoAuto, 16, 512, 1)
+	}
+	b.ReportMetric(t1.Micros(), "fm1_us")
+	b.ReportMetric(t2.Micros(), "fm2_us")
+}
+
+// BenchmarkCollectivesAllgatherAlgos prices ring vs recursive doubling.
+func BenchmarkCollectivesAllgatherAlgos(b *testing.B) {
+	var ring, recdbl sim.Time
+	for i := 0; i < b.N; i++ {
+		ring = bench.CollectiveTime(bench.MPI2, bench.CollAllgather, mpifm.AlgoRing, 16, 1024, 1)
+		recdbl = bench.CollectiveTime(bench.MPI2, bench.CollAllgather, mpifm.AlgoRecursiveDoubling, 16, 1024, 1)
+	}
+	b.ReportMetric(ring.Micros(), "ring_us")
+	b.ReportMetric(recdbl.Micros(), "recdbl_us")
+}
+
 // BenchmarkRealisticTraffic runs FM 2.x under the §2.1 message-size
 // distributions: usable bandwidth on real traffic, not fixed-size sweeps.
 func BenchmarkRealisticTraffic(b *testing.B) {

@@ -10,6 +10,7 @@
 //	fmbench -tables         # Tables 1 and 2 (API mapping)
 //	fmbench -headline       # the summary numbers for EXPERIMENTS.md
 //	fmbench -ablation       # design-choice ablations
+//	fmbench -collectives    # MPI collective scaling over ranks, sizes, algorithms
 package main
 
 import (
@@ -23,16 +24,17 @@ import (
 
 func main() {
 	var (
-		all      = flag.Bool("all", false, "run every figure, table, and summary")
-		fig      = flag.Int("fig", 0, "run one figure (1-6)")
-		tables   = flag.Bool("tables", false, "print Tables 1 and 2")
-		headline = flag.Bool("headline", false, "print the headline paper-vs-measured summary")
-		ablation = flag.Bool("ablation", false, "run the design-choice ablations")
+		all         = flag.Bool("all", false, "run every figure, table, and summary")
+		fig         = flag.Int("fig", 0, "run one figure (1-6)")
+		tables      = flag.Bool("tables", false, "print Tables 1 and 2")
+		headline    = flag.Bool("headline", false, "print the headline paper-vs-measured summary")
+		ablation    = flag.Bool("ablation", false, "run the design-choice ablations")
+		collectives = flag.Bool("collectives", false, "run the MPI collective scaling sweeps")
 	)
 	flag.Parse()
 	w := os.Stdout
 
-	if !*all && *fig == 0 && !*tables && !*headline && !*ablation {
+	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -77,6 +79,17 @@ func main() {
 	if *all || *ablation {
 		runAblations(w)
 	}
+	if *all || *collectives {
+		runCollectives(w)
+	}
+}
+
+func runCollectives(w *os.File) {
+	bench.WriteCollectiveScaling(w, bench.DefaultCollectiveScalingConfig())
+	fmt.Fprintln(w)
+	bench.WriteCollectiveSizeSweep(w, 8, []int{64, 512, 2048, 8192})
+	fmt.Fprintln(w)
+	bench.WriteCollectiveAlgos(w, 16, 2048)
 }
 
 func runAblations(w *os.File) {

@@ -11,11 +11,15 @@
 //   - internal/lanai      NIC model
 //   - internal/fm1        Fast Messages 1.x
 //   - internal/fm2        Fast Messages 2.x (the paper's contribution)
-//   - internal/mpifm      MPI over both FM generations
+//   - internal/mpifm      MPI over both FM generations: point-to-point plus
+//     the collectives layer (Bcast, Reduce, Allreduce, Scatter, Gather,
+//     Allgather, Alltoall) with flat/binomial and ring/recursive-doubling
+//     algorithm variants selected via CollectiveAlgo
 //   - internal/sockfm     Sockets-FM
 //   - internal/shmem      one-sided Put/Get
 //   - internal/garr       Global Arrays
-//   - internal/bench      figure/table regeneration harness
+//   - internal/bench      figure/table regeneration harness, including the
+//     collective scaling sweeps (rank count 2-64 on both FM bindings)
 //
-// See README.md, DESIGN.md, and EXPERIMENTS.md.
+// See README.md.
 package repro

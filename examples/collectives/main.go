@@ -1,0 +1,138 @@
+// Collectives example: the communication skeleton of a lattice-QCD-style
+// iterative solver. Machines of the CP-PACS class spend their MPI time in
+// exactly this loop — a global Allreduce of a dot product every iteration,
+// with occasional Bcast/Allgather of whole fields — so it is the workload
+// where the per-message efficiency of the FM binding compounds hardest.
+//
+// Each of 8 ranks owns a slab of lattice sites. Per iteration every rank
+// computes a local partial dot product (compute time charged to the host
+// model), then Allreduce(sum_f64) produces the global scalar every rank
+// needs before the next step. The same loop runs over both FM bindings and
+// under both Allreduce algorithms to show the layering and algorithm gaps.
+//
+//	go run ./examples/collectives
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/fm1"
+	"repro/internal/fm2"
+	"repro/internal/hostmodel"
+	"repro/internal/mpifm"
+	"repro/internal/sim"
+)
+
+const (
+	ranks        = 8
+	sitesPerRank = 2048 // lattice sites per rank
+	iterations   = 10
+)
+
+// localField deterministically initializes rank r's slab of the field.
+func localField(r int) []float64 {
+	v := make([]float64, sitesPerRank)
+	for i := range v {
+		v[i] = math.Sin(float64(r*sitesPerRank+i) * 0.001)
+	}
+	return v
+}
+
+// dotLoop runs the solver skeleton on an attached world and returns the
+// final global dot product and the virtual time the slowest rank took.
+func dotLoop(k *sim.Kernel, comms []*mpifm.Comm, algo mpifm.CollectiveAlgo) (float64, sim.Time) {
+	var final float64
+	var elapsed sim.Time
+	for r := 0; r < ranks; r++ {
+		c := comms[r]
+		c.SetCollectiveAlgo(algo)
+		k.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			x := localField(c.Rank())
+			y := localField(c.Rank() + ranks)
+			if err := c.Barrier(p); err != nil {
+				log.Fatal(err)
+			}
+			start := p.Now()
+			var global float64
+			buf := make([]byte, 8)
+			out := make([]byte, 8)
+			for it := 0; it < iterations; it++ {
+				// Local partial dot product; the arithmetic streams both
+				// operands through the cache, charged like a copy.
+				partial := 0.0
+				for i := range x {
+					partial += x[i] * y[i]
+				}
+				c.Host().Memcpy(p, 16*sitesPerRank)
+				binary.LittleEndian.PutUint64(buf, math.Float64bits(partial))
+				if err := c.Allreduce(p, buf, out, mpifm.OpSumF64); err != nil {
+					log.Fatal(err)
+				}
+				global = math.Float64frombits(binary.LittleEndian.Uint64(out))
+				// A real CG step would now scale and update the local slab
+				// with the global scalar; the communication is what we model.
+				for i := range x {
+					y[i] += 1e-6 * global * x[i]
+				}
+				c.Host().Memcpy(p, 24*sitesPerRank)
+			}
+			if c.Rank() == 0 {
+				final = global
+			}
+			if d := p.Now() - start; d > elapsed {
+				elapsed = d
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return final, elapsed
+}
+
+func fm1World() (*sim.Kernel, []*mpifm.Comm) {
+	k := sim.NewKernel()
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = ranks
+	cfg.Profile = hostmodel.Sparc()
+	pl := cluster.New(k, cfg)
+	return k, mpifm.AttachFM1(pl, fm1.Config{}, mpifm.SparcOverheads())
+}
+
+func fm2World() (*sim.Kernel, []*mpifm.Comm) {
+	k := sim.NewKernel()
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = ranks
+	pl := cluster.New(k, cfg)
+	return k, mpifm.AttachFM2(pl, fm2.Config{}, mpifm.PProOverheads(), true)
+}
+
+func main() {
+	fmt.Printf("lattice dot-product loop: %d ranks x %d sites, %d iterations\n\n",
+		ranks, sitesPerRank, iterations)
+
+	fmt.Printf("  %-22s  %14s  %12s\n", "configuration", "global dot", "time")
+	type config struct {
+		name string
+		mk   func() (*sim.Kernel, []*mpifm.Comm)
+		algo mpifm.CollectiveAlgo
+	}
+	for _, cfg := range []config{
+		{"MPI/FM1  recdbl", fm1World, mpifm.AlgoRecursiveDoubling},
+		{"MPI-FM2  recdbl", fm2World, mpifm.AlgoRecursiveDoubling},
+		{"MPI-FM2  ring", fm2World, mpifm.AlgoRing},
+		{"MPI-FM2  flat", fm2World, mpifm.AlgoFlat},
+	} {
+		k, comms := cfg.mk()
+		dot, t := dotLoop(k, comms, cfg.algo)
+		fmt.Printf("  %-22s  %14.6f  %12s\n", cfg.name, dot, t)
+	}
+	fmt.Println("\n  (the FM1-vs-FM2 gap is the paper's layering-efficiency story,")
+	fmt.Println("   compounded over every message of every global sum; the 8-byte")
+	fmt.Println("   Allreduce is latency-bound, so recursive doubling's O(log P)")
+	fmt.Println("   rounds beat the ring's O(P))")
+}

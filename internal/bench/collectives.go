@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mpifm"
+	"repro/internal/sim"
+)
+
+// Collective scaling drivers: the paper's layering-efficiency argument,
+// extended from one stream to whole communication patterns. Rank count is
+// the new axis — real MPI workloads on CP-PACS-class machines are dominated
+// by collectives across many ranks, and the per-message copy tax of the
+// FM 1.x interface compounds with every message a collective sends.
+
+// CollectiveOp names one MPI-FM collective operation.
+type CollectiveOp string
+
+// The seven collectives, in figure order.
+const (
+	CollBcast     CollectiveOp = "bcast"
+	CollReduce    CollectiveOp = "reduce"
+	CollAllreduce CollectiveOp = "allreduce"
+	CollScatter   CollectiveOp = "scatter"
+	CollGather    CollectiveOp = "gather"
+	CollAllgather CollectiveOp = "allgather"
+	CollAlltoall  CollectiveOp = "alltoall"
+)
+
+// AllCollectives lists every op in figure order.
+var AllCollectives = []CollectiveOp{
+	CollBcast, CollReduce, CollAllreduce, CollScatter, CollGather, CollAllgather, CollAlltoall,
+}
+
+// collBuffers allocates the operation's buffers for one rank. size is the
+// per-rank contribution in bytes (rounded to the reduction element size by
+// CollectiveTime); root-wide buffers are size*ranks.
+func collBuffers(op CollectiveOp, ranks, rank, size int) (sendbuf, recvbuf []byte) {
+	fill := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rank*31 + i*7 + 11)
+		}
+		return b
+	}
+	switch op {
+	case CollBcast:
+		return fill(size), nil
+	case CollReduce, CollAllreduce:
+		return fill(size), make([]byte, size)
+	case CollScatter:
+		if rank == 0 {
+			return fill(size * ranks), make([]byte, size)
+		}
+		return nil, make([]byte, size)
+	case CollGather:
+		if rank == 0 {
+			return fill(size), make([]byte, size*ranks)
+		}
+		return fill(size), nil
+	case CollAllgather:
+		return fill(size), make([]byte, size*ranks)
+	case CollAlltoall:
+		return fill(size * ranks), make([]byte, size*ranks)
+	}
+	panic(fmt.Sprintf("bench: unknown collective %q", op))
+}
+
+// runOneCollective executes one round of op on rank c (root 0 for rooted
+// operations).
+func runOneCollective(p *sim.Proc, c *mpifm.Comm, op CollectiveOp, sendbuf, recvbuf []byte) error {
+	switch op {
+	case CollBcast:
+		return c.Bcast(p, sendbuf, 0)
+	case CollReduce:
+		return c.Reduce(p, sendbuf, recvbuf, mpifm.OpSumU32, 0)
+	case CollAllreduce:
+		return c.Allreduce(p, sendbuf, recvbuf, mpifm.OpSumU32)
+	case CollScatter:
+		return c.Scatter(p, sendbuf, recvbuf, 0)
+	case CollGather:
+		return c.Gather(p, sendbuf, recvbuf, 0)
+	case CollAllgather:
+		return c.Allgather(p, sendbuf, recvbuf)
+	case CollAlltoall:
+		return c.Alltoall(p, sendbuf, recvbuf)
+	}
+	return fmt.Errorf("bench: unknown collective %q", op)
+}
+
+// CollectiveTime measures the virtual time of one collective: ranks align
+// on a barrier, run iters rounds, and the reported time is from the
+// earliest post-barrier instant to the last rank's completion, divided by
+// iters. size is bytes contributed per rank (rounded down to a multiple of
+// the reduction element width, minimum 4).
+func CollectiveTime(g MPIGen, op CollectiveOp, algo mpifm.CollectiveAlgo, ranks, size, iters int) sim.Time {
+	if iters < 1 {
+		iters = 1
+	}
+	size -= size % 4
+	if size < 4 {
+		size = 4
+	}
+	k := sim.NewKernel()
+	comms := g.attachN(k, ranks)
+	starts := make([]sim.Time, ranks)
+	ends := make([]sim.Time, ranks)
+	for r := 0; r < ranks; r++ {
+		c := comms[r]
+		c.SetCollectiveAlgo(algo)
+		k.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			sendbuf, recvbuf := collBuffers(op, ranks, c.Rank(), size)
+			if err := c.Barrier(p); err != nil {
+				panic(err)
+			}
+			starts[c.Rank()] = p.Now()
+			for it := 0; it < iters; it++ {
+				if err := runOneCollective(p, c, op, sendbuf, recvbuf); err != nil {
+					panic(err)
+				}
+			}
+			ends[c.Rank()] = p.Now()
+		})
+	}
+	if err := k.Run(); err != nil {
+		panic(fmt.Sprintf("bench: %s ranks=%d size=%d algo=%s: %v", op, ranks, size, algo, err))
+	}
+	start, end := starts[0], ends[0]
+	for r := 1; r < ranks; r++ {
+		if starts[r] < start {
+			start = starts[r]
+		}
+		if ends[r] > end {
+			end = ends[r]
+		}
+	}
+	return (end - start) / sim.Time(iters)
+}
+
+// CollectiveScalingConfig parameterizes the scaling figure.
+type CollectiveScalingConfig struct {
+	Ops   []CollectiveOp
+	Ranks []int
+	Size  int // bytes per rank contribution
+	Iters int
+	Algo  mpifm.CollectiveAlgo
+}
+
+// DefaultCollectiveScalingConfig sweeps all seven collectives from 2 to 64
+// ranks at 1 KiB per rank.
+func DefaultCollectiveScalingConfig() CollectiveScalingConfig {
+	return CollectiveScalingConfig{
+		Ops:   AllCollectives,
+		Ranks: []int{2, 4, 8, 16, 32, 64},
+		Size:  1024,
+		Iters: 1,
+		Algo:  mpifm.AlgoAuto,
+	}
+}
+
+// ScalingPoint is one rank count's time-per-op on both bindings.
+type ScalingPoint struct {
+	Ranks int
+	FM1us float64 // MPI over FM 1.x (sparc)
+	FM2us float64 // MPI-FM 2.0 (ppro200)
+}
+
+// CollectiveScaling computes one op's scaling series over rank count on
+// both FM bindings.
+func CollectiveScaling(op CollectiveOp, cfg CollectiveScalingConfig) []ScalingPoint {
+	pts := make([]ScalingPoint, 0, len(cfg.Ranks))
+	for _, n := range cfg.Ranks {
+		pts = append(pts, ScalingPoint{
+			Ranks: n,
+			FM1us: CollectiveTime(MPI1, op, cfg.Algo, n, cfg.Size, cfg.Iters).Micros(),
+			FM2us: CollectiveTime(MPI2, op, cfg.Algo, n, cfg.Size, cfg.Iters).Micros(),
+		})
+	}
+	return pts
+}
+
+// WriteCollectiveScaling renders the rank-count scaling table for every op
+// in cfg: the collectives counterpart of the Figure 4/6 story, with the
+// FM2/FM1 ratio showing how the interface gap compounds across patterns.
+func WriteCollectiveScaling(w io.Writer, cfg CollectiveScalingConfig) {
+	fmt.Fprintf(w, "Collective scaling: time per operation (us), %d B per rank, algo=%s\n",
+		cfg.Size, cfg.Algo)
+	for _, op := range cfg.Ops {
+		pts := CollectiveScaling(op, cfg)
+		fmt.Fprintf(w, "  %s\n", op)
+		fmt.Fprintf(w, "    %6s  %12s  %12s  %8s\n", "ranks", "MPI/FM1", "MPI-FM 2.0", "speedup")
+		for _, pt := range pts {
+			ratio := 0.0
+			if pt.FM2us > 0 {
+				ratio = pt.FM1us / pt.FM2us
+			}
+			fmt.Fprintf(w, "    %6d  %12.2f  %12.2f  %7.1fx\n", pt.Ranks, pt.FM1us, pt.FM2us, ratio)
+		}
+	}
+}
+
+// WriteCollectiveSizeSweep renders time per op across message sizes at a
+// fixed rank count for a subset of ops, both bindings side by side.
+func WriteCollectiveSizeSweep(w io.Writer, ranks int, sizes []int) {
+	ops := []CollectiveOp{CollBcast, CollAllreduce, CollAlltoall}
+	fmt.Fprintf(w, "Collective size sweep at %d ranks: time per operation (us)\n", ranks)
+	fmt.Fprintf(w, "  %8s", "size")
+	for _, op := range ops {
+		fmt.Fprintf(w, "  %10s_1  %10s_2", op, op)
+	}
+	fmt.Fprintln(w)
+	for _, s := range sizes {
+		fmt.Fprintf(w, "  %8d", s)
+		for _, op := range ops {
+			t1 := CollectiveTime(MPI1, op, mpifm.AlgoAuto, ranks, s, 1)
+			t2 := CollectiveTime(MPI2, op, mpifm.AlgoAuto, ranks, s, 1)
+			fmt.Fprintf(w, "  %12.2f  %12.2f", t1.Micros(), t2.Micros())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCollectiveAlgos renders the algorithm-variant comparison: the same
+// op under each applicable CollectiveAlgo, both bindings. The flat-vs-tree
+// and ring-vs-doubling gaps shift between FM generations because the
+// variants trade message count against bytes moved, and the two interfaces
+// price those differently.
+func WriteCollectiveAlgos(w io.Writer, ranks, size int) {
+	variants := []struct {
+		op    CollectiveOp
+		algos []mpifm.CollectiveAlgo
+	}{
+		{CollBcast, []mpifm.CollectiveAlgo{mpifm.AlgoFlat, mpifm.AlgoBinomial}},
+		{CollReduce, []mpifm.CollectiveAlgo{mpifm.AlgoFlat, mpifm.AlgoBinomial}},
+		{CollAllreduce, []mpifm.CollectiveAlgo{mpifm.AlgoFlat, mpifm.AlgoBinomial,
+			mpifm.AlgoRing, mpifm.AlgoRecursiveDoubling}},
+		{CollAllgather, []mpifm.CollectiveAlgo{mpifm.AlgoRing, mpifm.AlgoRecursiveDoubling}},
+	}
+	fmt.Fprintf(w, "Collective algorithm variants at %d ranks, %d B per rank: time per op (us)\n",
+		ranks, size)
+	fmt.Fprintf(w, "  %-10s  %-10s  %12s  %12s\n", "op", "algo", "MPI/FM1", "MPI-FM 2.0")
+	pow2 := ranks&(ranks-1) == 0
+	for _, v := range variants {
+		for _, a := range v.algos {
+			if v.op == CollAllgather && a == mpifm.AlgoRecursiveDoubling && !pow2 {
+				continue // would silently fall back to ring; don't mislabel it
+			}
+			t1 := CollectiveTime(MPI1, v.op, a, ranks, size, 1)
+			t2 := CollectiveTime(MPI2, v.op, a, ranks, size, 1)
+			fmt.Fprintf(w, "  %-10s  %-10s  %12.2f  %12.2f\n", v.op, a, t1.Micros(), t2.Micros())
+		}
+	}
+}

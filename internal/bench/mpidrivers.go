@@ -23,16 +23,23 @@ const (
 	MPI2Unpaced
 )
 
-func (g MPIGen) attach(k *sim.Kernel) []*mpifm.Comm {
+func (g MPIGen) attach(k *sim.Kernel) []*mpifm.Comm { return g.attachN(k, 2) }
+
+// attachN builds an n-rank world for this generation (one switch, as the
+// paper's clusters were wired).
+func (g MPIGen) attachN(k *sim.Kernel, n int) []*mpifm.Comm {
 	switch g {
 	case MPI1:
 		o := DefaultFM1Options()
 		cfg := cluster.DefaultConfig()
 		cfg.Profile = o.Profile
+		cfg.Nodes = n
 		pl := cluster.New(k, cfg)
 		return mpifm.AttachFM1(pl, fm1.Config{}, mpifm.SparcOverheads())
 	case MPI2, MPI2Unpaced:
-		pl := cluster.New(k, cluster.DefaultConfig())
+		cfg := cluster.DefaultConfig()
+		cfg.Nodes = n
+		pl := cluster.New(k, cfg)
 		return mpifm.AttachFM2(pl, fm2.Config{}, mpifm.PProOverheads(), g == MPI2)
 	}
 	panic(fmt.Sprintf("bench: unknown MPI generation %d", g))

@@ -129,6 +129,9 @@ type Comm struct {
 	unexpected []inMsg
 	barrierSeq int
 
+	collAlgo CollectiveAlgo
+	collSeq  uint32
+
 	stats Stats
 }
 
