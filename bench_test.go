@@ -120,8 +120,8 @@ func BenchmarkFig6MPIoverFM2(b *testing.B) {
 func BenchmarkAblationNoGather(b *testing.B) {
 	var with, without float64
 	for i := 0; i < b.N; i++ {
-		with = bench.MPI2AblationBandwidth(mpifm.FM2Options{}, 2048, 300)
-		without = bench.MPI2AblationBandwidth(mpifm.FM2Options{NoGather: true}, 2048, 300)
+		with = bench.MPI2AblationBandwidth(mpifm.Options{}, 2048, 300)
+		without = bench.MPI2AblationBandwidth(mpifm.Options{NoGather: true}, 2048, 300)
 	}
 	b.ReportMetric(with, "gather_MBps")
 	b.ReportMetric(without, "no_gather_MBps")
@@ -131,8 +131,8 @@ func BenchmarkAblationNoGather(b *testing.B) {
 func BenchmarkAblationNoRxFlowControl(b *testing.B) {
 	var with, without float64
 	for i := 0; i < b.N; i++ {
-		with = bench.MPI2AblationBandwidth(mpifm.FM2Options{}, 2048, 300)
-		without = bench.MPI2AblationBandwidth(mpifm.FM2Options{Unpaced: true}, 2048, 300)
+		with = bench.MPI2AblationBandwidth(mpifm.Options{}, 2048, 300)
+		without = bench.MPI2AblationBandwidth(mpifm.Options{Unpaced: true}, 2048, 300)
 	}
 	b.ReportMetric(with, "paced_MBps")
 	b.ReportMetric(without, "unpaced_MBps")

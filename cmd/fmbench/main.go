@@ -11,6 +11,7 @@
 //	fmbench -headline       # the summary numbers for EXPERIMENTS.md
 //	fmbench -ablation       # design-choice ablations
 //	fmbench -collectives    # MPI collective scaling over ranks, sizes, algorithms
+//	fmbench -matrix         # layering efficiency for every upper layer x FM binding
 package main
 
 import (
@@ -30,11 +31,12 @@ func main() {
 		headline    = flag.Bool("headline", false, "print the headline paper-vs-measured summary")
 		ablation    = flag.Bool("ablation", false, "run the design-choice ablations")
 		collectives = flag.Bool("collectives", false, "run the MPI collective scaling sweeps")
+		matrix      = flag.Bool("matrix", false, "run the upper-layer x binding layering-efficiency matrix")
 	)
 	flag.Parse()
 	w := os.Stdout
 
-	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives {
+	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives && !*matrix {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -82,6 +84,9 @@ func main() {
 	if *all || *collectives {
 		runCollectives(w)
 	}
+	if *all || *matrix {
+		bench.WriteLayeringMatrix(w, []int{256, 2048, 16384}, 300)
+	}
 }
 
 func runCollectives(w *os.File) {
@@ -95,9 +100,9 @@ func runCollectives(w *os.File) {
 func runAblations(w *os.File) {
 	fmt.Fprintln(w, "Ablations (MPI-FM 2.0 streaming at 2048B unless noted):")
 	const size, msgs = 2048, 400
-	full := bench.MPI2AblationBandwidth(mpifm.FM2Options{}, size, msgs)
-	noGather := bench.MPI2AblationBandwidth(mpifm.FM2Options{NoGather: true}, size, msgs)
-	unpaced := bench.MPI2AblationBandwidth(mpifm.FM2Options{Unpaced: true}, size, msgs)
+	full := bench.MPI2AblationBandwidth(mpifm.Options{}, size, msgs)
+	noGather := bench.MPI2AblationBandwidth(mpifm.Options{NoGather: true}, size, msgs)
+	unpaced := bench.MPI2AblationBandwidth(mpifm.Options{Unpaced: true}, size, msgs)
 	fmt.Fprintf(w, "  full FM 2.x services      %7.2f MB/s\n", full)
 	fmt.Fprintf(w, "  gather off (assembly copy) %6.2f MB/s  (%.0f%%)\n", noGather, 100*noGather/full)
 	fmt.Fprintf(w, "  receiver pacing off        %6.2f MB/s  (%.0f%%)\n", unpaced, 100*unpaced/full)

@@ -9,17 +9,34 @@
 //   - internal/netsim     Myrinet fabric model
 //   - internal/hostmodel  machine cost profiles (sparc, ppro200)
 //   - internal/lanai      NIC model
-//   - internal/fm1        Fast Messages 1.x
-//   - internal/fm2        Fast Messages 2.x (the paper's contribution)
-//   - internal/mpifm      MPI over both FM generations: point-to-point plus
-//     the collectives layer (Bcast, Reduce, Allreduce, Scatter, Gather,
-//     Allgather, Alltoall) with flat/binomial and ring/recursive-doubling
-//     algorithm variants selected via CollectiveAlgo
-//   - internal/sockfm     Sockets-FM
-//   - internal/shmem      one-sided Put/Get
-//   - internal/garr       Global Arrays
-//   - internal/bench      figure/table regeneration harness, including the
-//     collective scaling sweeps (rank count 2-64 on both FM bindings)
+//   - internal/fm1        Fast Messages 1.x (contiguous buffers, staged delivery)
+//   - internal/fm2        Fast Messages 2.x (the paper's contribution:
+//     streaming gather/scatter, handler multithreading, paced extraction,
+//     host-memcpy loopback self-sends)
+//   - internal/xport      the unified streaming transport contract: one
+//     Transport interface with the FM 2.x shape, implemented natively by
+//     fm2 and via a staging-copy adapter by fm1
+//   - internal/mpifm      MPI (point-to-point + collectives) over xport
+//   - internal/sockfm     Sockets-FM over xport
+//   - internal/shmem      one-sided Put/Get over xport
+//   - internal/garr       Global Arrays over shmem
+//   - internal/bench      figure/table regeneration harness, collective
+//     scaling sweeps, and the cross-product layering-efficiency matrix
+//     ({mpi, sock, shmem, garr} x {fm1, fm2} from one driver per layer)
+//
+// Every upper layer binds only to xport.Transport, so the paper's Figure 6
+// layering-efficiency argument generalizes to the full cross product:
+//
+//	mpifm   sockfm   shmem   garr(-> shmem)
+//	   \       |       |       /
+//	    +------+---+---+------+
+//	               |
+//	        xport.Transport
+//	          /          \
+//	   OverFM1 adapter   OverFM2 (native)
+//	   (staging copies)   (zero-copy streaming)
+//	         |                  |
+//	     internal/fm1      internal/fm2
 //
 // See README.md.
 package repro

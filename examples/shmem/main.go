@@ -14,6 +14,7 @@ import (
 	"repro/internal/garr"
 	"repro/internal/shmem"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
 const (
@@ -29,12 +30,12 @@ func main() {
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = ranks
 	pl := cluster.New(k, cfg)
-	eps := fm2.Attach(pl, fm2.Config{})
+	ts := xport.AttachFM2(pl, fm2.Config{})
 
 	nodes := make([]*shmem.Node, ranks)
 	arrays := make([]*garr.Array, ranks)
 	for i := range nodes {
-		nodes[i] = shmem.New(eps[i])
+		nodes[i] = shmem.New(ts[i])
 		a, err := garr.New(nodes[i], gaID, size, ranks)
 		if err != nil {
 			log.Fatal(err)

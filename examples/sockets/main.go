@@ -15,6 +15,7 @@ import (
 	"repro/internal/fm2"
 	"repro/internal/sim"
 	"repro/internal/sockfm"
+	"repro/internal/xport"
 )
 
 func main() {
@@ -22,10 +23,10 @@ func main() {
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = 3
 	pl := cluster.New(k, cfg)
-	eps := fm2.Attach(pl, fm2.Config{})
+	ts := xport.AttachFM2(pl, fm2.Config{})
 	stacks := make([]*sockfm.Stack, 3)
 	for i := range stacks {
-		stacks[i] = sockfm.NewStack(eps[i])
+		stacks[i] = sockfm.NewStack(ts[i])
 	}
 
 	const port = 7 // echo-with-a-twist

@@ -12,6 +12,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sockfm"
 	"repro/internal/trafficgen"
+	"repro/internal/xport"
 )
 
 // TestMPIOverMultiHopFabric runs MPI-FM 2.0 across a two-switch line
@@ -100,8 +101,8 @@ func TestFullStackMixedWorkload(t *testing.T) {
 	// pair; all share the one fabric.
 	comms := mpifm.AttachFM2(pl, fm2.Config{}, mpifm.PProOverheads(), true)
 	sockEps := []*sockfm.Stack{
-		sockfm.NewStack(fm2.NewEndpoint(pl, 2, fm2.Config{})),
-		sockfm.NewStack(fm2.NewEndpoint(pl, 3, fm2.Config{})),
+		sockfm.NewStack(xport.OverFM2(fm2.NewEndpoint(pl, 2, fm2.Config{}))),
+		sockfm.NewStack(xport.OverFM2(fm2.NewEndpoint(pl, 3, fm2.Config{}))),
 	}
 	sizes := trafficgen.SUNYCampus().NewSampler(7).Sizes(60)
 

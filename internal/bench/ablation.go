@@ -14,7 +14,7 @@ import (
 
 // MPI2AblationBandwidth measures streaming MPI-FM 2.0 bandwidth with the
 // given service selection.
-func MPI2AblationBandwidth(opt mpifm.FM2Options, size, msgs int) float64 {
+func MPI2AblationBandwidth(opt mpifm.Options, size, msgs int) float64 {
 	k := sim.NewKernel()
 	pl := cluster.New(k, cluster.DefaultConfig())
 	comms := mpifm.AttachFM2Opt(pl, fm2.Config{}, mpifm.PProOverheads(), opt)

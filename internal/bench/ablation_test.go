@@ -10,8 +10,8 @@ func TestAblationGatherMatters(t *testing.T) {
 	// Turning gather off re-creates the FM 1.x assembly copy; large-message
 	// bandwidth must drop measurably.
 	const size, msgs = 2048, 300
-	with := MPI2AblationBandwidth(mpifm.FM2Options{}, size, msgs)
-	without := MPI2AblationBandwidth(mpifm.FM2Options{NoGather: true}, size, msgs)
+	with := MPI2AblationBandwidth(mpifm.Options{}, size, msgs)
+	without := MPI2AblationBandwidth(mpifm.Options{NoGather: true}, size, msgs)
 	if without >= with {
 		t.Fatalf("no-gather %.2f >= gather %.2f MB/s", without, with)
 	}
@@ -25,8 +25,8 @@ func TestAblationPacingMatters(t *testing.T) {
 	// Without receiver flow control, arrivals overrun the posted receive
 	// and take the pool path: more copies, less bandwidth.
 	const size, msgs = 2048, 300
-	paced := MPI2AblationBandwidth(mpifm.FM2Options{}, size, msgs)
-	unpaced := MPI2AblationBandwidth(mpifm.FM2Options{Unpaced: true}, size, msgs)
+	paced := MPI2AblationBandwidth(mpifm.Options{}, size, msgs)
+	unpaced := MPI2AblationBandwidth(mpifm.Options{Unpaced: true}, size, msgs)
 	if unpaced >= paced {
 		t.Fatalf("unpaced %.2f >= paced %.2f MB/s", unpaced, paced)
 	}

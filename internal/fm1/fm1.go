@@ -132,6 +132,9 @@ func (e *Endpoint) FlowControl() *flowctl.Manager { return e.fc }
 // MTU reports the per-packet payload capacity.
 func (e *Endpoint) MTU() int { return e.h.P.PacketMTU - headerSize }
 
+// MaxMessage reports the configured message size limit.
+func (e *Endpoint) MaxMessage() int { return e.cfg.MaxMessage }
+
 // Register installs a handler under id. Handlers must be registered before
 // any peer sends to them.
 func (e *Endpoint) Register(id HandlerID, fn Handler) {
@@ -155,13 +158,19 @@ func (e *Endpoint) Send4(p *sim.Proc, dst int, h HandlerID, w0, w1, w2, w3 uint3
 // Send transmits buf as one FM message, fragmenting at the packet MTU.
 // It blocks (in virtual time) on flow-control credits and NIC back-pressure
 // but never on the receiver servicing the network: FM buffering lets the
-// sender run ahead by a full credit window.
+// sender run ahead by a full credit window. dst == Node() is a loopback
+// self-send: the handler is dispatched directly on the sending Proc as a
+// host memcpy path, with no NIC or flow-control involvement.
 func (e *Endpoint) Send(p *sim.Proc, dst int, h HandlerID, buf []byte) error {
 	if len(buf) > e.cfg.MaxMessage {
 		return fmt.Errorf("fm1: message of %d bytes exceeds limit %d", len(buf), e.cfg.MaxMessage)
 	}
 	if dst == e.node {
-		return fmt.Errorf("fm1: self-send not supported")
+		p.Delay(e.h.P.SendSetup)
+		e.stats.MsgsSent++
+		e.stats.BytesSent += int64(len(buf))
+		e.dispatch(p, e.node, h, buf)
+		return nil
 	}
 	p.Delay(e.h.P.SendSetup)
 	mtu := e.MTU()

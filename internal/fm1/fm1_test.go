@@ -309,15 +309,39 @@ func TestOversizeMessageRejected(t *testing.T) {
 	}
 }
 
-func TestSelfSendRejected(t *testing.T) {
+func TestLoopbackSelfSend(t *testing.T) {
+	// A self-send dispatches the local handler directly — a host path with
+	// no NIC packets — and counts in the endpoint stats like any delivery.
 	k, _, eps := sparcPair()
+	var got []byte
+	eps[0].Register(1, func(p *sim.Proc, src int, data []byte) {
+		if src != 0 {
+			t.Errorf("loopback src %d, want 0", src)
+		}
+		got = append([]byte(nil), data...)
+	})
+	msg := []byte{1, 2, 3, 4}
 	k.Spawn("sender", func(p *sim.Proc) {
-		if err := eps[0].Send(p, 0, 1, []byte{1}); err == nil {
-			t.Error("self-send accepted")
+		if err := eps[0].Send(p, 0, 1, msg); err != nil {
+			t.Error(err)
+		}
+		// Unknown handler: swallowed silently, as on the remote path.
+		if err := eps[0].Send(p, 0, 77, msg); err != nil {
+			t.Error(err)
 		}
 	})
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("loopback delivered %v", got)
+	}
+	st := eps[0].Stats()
+	if st.MsgsSent != 2 || st.MsgsRecvd != 1 || st.UnknownHandler != 1 {
+		t.Errorf("stats %+v, want 2 sent, 1 received, 1 unknown", st)
+	}
+	if st.PacketsSent != 0 || st.PacketsRecvd != 0 {
+		t.Errorf("loopback touched the NIC: %+v", st)
 	}
 }
 

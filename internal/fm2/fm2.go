@@ -98,6 +98,7 @@ type Endpoint struct {
 	fc       *flowctl.Manager
 	active   map[uint32]*RecvStream
 	msgSeq   uint16
+	pktPool  [][]byte // recycled SendStream staging slices (cap = MTU)
 	stats    Stats
 }
 
@@ -141,6 +142,9 @@ func (e *Endpoint) FlowControl() *flowctl.Manager { return e.fc }
 
 // MTU reports the per-packet payload capacity.
 func (e *Endpoint) MTU() int { return e.h.P.PacketMTU - headerSize }
+
+// MaxMessage reports the configured message size limit.
+func (e *Endpoint) MaxMessage() int { return e.cfg.MaxMessage }
 
 // ActiveStreams reports messages currently in flight on the receive side —
 // zero at quiesce is the handler-lifecycle invariant tests check.

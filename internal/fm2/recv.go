@@ -236,6 +236,33 @@ func (e *Endpoint) processData(p *sim.Proc, frame []byte) int {
 	return 0
 }
 
+// deliverLoopback presents a self-send to its handler without touching the
+// NIC: the receive half of the loopback path. The sending Proc plays the
+// extractor's role, running the handler's logical thread to completion —
+// every byte is already present, so the handler never parks for data.
+func (e *Endpoint) deliverLoopback(p *sim.Proc, h HandlerID, msgid uint16, data []byte) {
+	fn, ok := e.handlers[h]
+	if !ok {
+		e.stats.UnknownHandler++
+		e.stats.DiscardedBytes += int64(len(data))
+		return
+	}
+	rs := &RecvStream{e: e, src: e.node, msgid: msgid, handler: h, msglen: len(data), state: stateRunning}
+	rs.deliver(data, true)
+	p.Delay(e.h.P.HandlerDispatch)
+	e.h.K.SpawnDaemon(fmt.Sprintf("fm2.n%d.h%d.loop.m%d", e.node, h, msgid),
+		func(hp *sim.Proc) {
+			fn(hp, rs)
+			rs.state = stateDone
+			rs.e.stats.DiscardedBytes += int64(rs.pendingBytes)
+			rs.pending, rs.pendingBytes = nil, 0
+			rs.idleSig.Broadcast()
+		})
+	e.runStream(p, rs)
+	e.stats.MsgsRecvd++
+	e.stats.BytesRecvd += int64(rs.delivered)
+}
+
 // runStream hands the CPU to the stream's handler until it parks (needs
 // more data) or returns. The extracting Proc is descheduled meanwhile, so
 // handler execution time is correctly charged to this host's CPU.

@@ -8,6 +8,9 @@ import (
 
 // SendStream is an open outgoing message: a byte stream composed piecewise
 // by SendPiece calls (gather) and packetized transparently at the MTU.
+// Loopback streams (dst == sender) skip packetization entirely: pieces are
+// gathered into a host buffer and presented to the local handler at
+// EndMessage, a pure memcpy path that never touches the NIC.
 type SendStream struct {
 	e       *Endpoint
 	dst     int
@@ -16,6 +19,7 @@ type SendStream struct {
 	total   int // declared message size
 	sent    int // payload bytes accepted so far
 	pkt     []byte
+	loop    []byte // loopback staging (aliased by the local RecvStream)
 	first   bool
 	closed  bool
 }
@@ -23,24 +27,32 @@ type SendStream struct {
 // BeginMessage opens a message of exactly `size` payload bytes toward dst.
 // The size is carried in the first packet's header, as in the real API, so
 // receivers can select destination buffers before the payload arrives.
+// dst == Node() opens a loopback self-send.
 func (e *Endpoint) BeginMessage(p *sim.Proc, dst, size int, h HandlerID) (*SendStream, error) {
 	if size < 0 || size > e.cfg.MaxMessage {
 		return nil, fmt.Errorf("fm2: message size %d out of range [0,%d]", size, e.cfg.MaxMessage)
 	}
-	if dst == e.node {
-		return nil, fmt.Errorf("fm2: self-send not supported")
-	}
 	p.Delay(e.h.P.SendSetup)
 	e.msgSeq++
-	return &SendStream{
+	s := &SendStream{
 		e:       e,
 		dst:     dst,
 		handler: h,
 		msgid:   e.msgSeq,
 		total:   size,
-		pkt:     make([]byte, 0, e.MTU()),
 		first:   true,
-	}, nil
+	}
+	if dst == e.node {
+		s.loop = make([]byte, 0, size)
+		return s, nil
+	}
+	if n := len(e.pktPool); n > 0 {
+		s.pkt = e.pktPool[n-1][:0]
+		e.pktPool = e.pktPool[:n-1]
+	} else {
+		s.pkt = make([]byte, 0, e.MTU())
+	}
+	return s, nil
 }
 
 // SendPiece appends buf to the message stream. Pieces of arbitrary sizes
@@ -54,6 +66,16 @@ func (s *SendStream) SendPiece(p *sim.Proc, buf []byte) error {
 	if s.sent+len(buf) > s.total {
 		return fmt.Errorf("fm2: piece overflows declared size %d (already %d, piece %d)",
 			s.total, s.sent, len(buf))
+	}
+	if s.dst == s.e.node {
+		// Loopback: gather into the host staging buffer, charged as the
+		// memcpy it is.
+		s.loop = append(s.loop, buf...)
+		s.sent += len(buf)
+		if len(buf) > 0 {
+			s.e.h.Memcpy(p, len(buf))
+		}
+		return nil
 	}
 	mtu := s.e.MTU()
 	for len(buf) > 0 {
@@ -73,7 +95,8 @@ func (s *SendStream) SendPiece(p *sim.Proc, buf []byte) error {
 }
 
 // EndMessage closes the stream, flushing the final packet with the LAST
-// flag. Every byte declared in BeginMessage must have been supplied.
+// flag. Every byte declared in BeginMessage must have been supplied. A
+// loopback stream instead presents the gathered bytes to the local handler.
 func (s *SendStream) EndMessage(p *sim.Proc) error {
 	if s.closed {
 		return fmt.Errorf("fm2: double EndMessage")
@@ -81,10 +104,16 @@ func (s *SendStream) EndMessage(p *sim.Proc) error {
 	if s.sent != s.total {
 		return fmt.Errorf("fm2: EndMessage with %d of %d declared bytes sent", s.sent, s.total)
 	}
-	s.flush(p, true)
 	s.closed = true
 	s.e.stats.MsgsSent++
 	s.e.stats.BytesSent += int64(s.total)
+	if s.dst == s.e.node {
+		s.e.deliverLoopback(p, s.handler, s.msgid, s.loop)
+		return nil
+	}
+	s.flush(p, true)
+	s.e.pktPool = append(s.e.pktPool, s.pkt[:0])
+	s.pkt = nil
 	return nil
 }
 

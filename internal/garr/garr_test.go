@@ -8,6 +8,7 @@ import (
 	"repro/internal/fm2"
 	"repro/internal/shmem"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
 func arrays(t *testing.T, ranks, size int) (*sim.Kernel, []*Array) {
@@ -15,10 +16,10 @@ func arrays(t *testing.T, ranks, size int) (*sim.Kernel, []*Array) {
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = ranks
 	pl := cluster.New(k, cfg)
-	eps := fm2.Attach(pl, fm2.Config{})
+	ts := xport.AttachFM2(pl, fm2.Config{})
 	out := make([]*Array, ranks)
 	for i := range out {
-		a, err := New(shmem.New(eps[i]), 1, size, ranks)
+		a, err := New(shmem.New(ts[i]), 1, size, ranks)
 		if err != nil {
 			t.Fatal(err)
 		}

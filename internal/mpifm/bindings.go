@@ -5,133 +5,80 @@ import (
 	"repro/internal/fm1"
 	"repro/internal/fm2"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
-// mpiHandlerID is the FM handler slot MPI-FM claims on every node.
+// mpiHandlerID is the transport handler slot MPI-FM claims on every node.
 const mpiHandlerID = 1
 
-// --- FM 1.x binding: the original MPI-FM (Figure 4) ---
-
-type fm1Binding struct {
-	c  *Comm
-	ep *fm1.Endpoint
-}
-
-// AttachFM1 builds MPI-FM over FM 1.x on every node of the platform.
-func AttachFM1(pl *cluster.Platform, fmCfg fm1.Config, ov Overheads) []*Comm {
-	eps := fm1.Attach(pl, fmCfg)
-	comms := make([]*Comm, pl.Nodes())
-	for i := range comms {
-		c := &Comm{rank: i, size: pl.Nodes(), host: pl.Hosts[i], ov: ov}
-		b := &fm1Binding{c: c, ep: eps[i]}
-		eps[i].Register(mpiHandlerID, b.handler)
-		c.b = b
-		comms[i] = c
-	}
-	return comms
-}
-
-// send assembles header and payload into one contiguous buffer — the copy
-// the FM 1.x API forces on every send — plus the encapsulation pass the
-// paper blames alongside it ("header attachment, message encapsulation,
-// checksumming", §3.2): the MPI device walks the assembled message once
-// more before handing it to FM.
-func (b *fm1Binding) send(p *sim.Proc, dst int, hdr, payload []byte) error {
-	msg := make([]byte, len(hdr)+len(payload))
-	copy(msg, hdr)
-	copy(msg[len(hdr):], payload)
-	b.c.host.Memcpy(p, len(msg)) // assembly copy
-	b.c.host.Memcpy(p, len(msg)) // encapsulation/checksum traversal
-	return b.ep.Send(p, dst, mpiHandlerID, msg)
-}
-
-// handler receives a complete, contiguous message from FM 1.x staging.
-// Matched or not, the payload is copied again: FM has already presented it
-// in its own buffer, so the best case is staging -> user buffer, and the
-// unexpected case is staging -> pool (-> user later).
-func (b *fm1Binding) handler(p *sim.Proc, src int, data []byte) {
-	c := b.c
-	srcRank, tag, n, _ := decodeHeader(data[:HeaderSize])
-	payload := data[HeaderSize : HeaderSize+n]
-	if req := c.takePosted(srcRank, tag); req != nil {
-		m := copy(req.buf, payload)
-		c.host.Memcpy(p, m)
-		p.Delay(c.ov.Recv)
-		c.complete(req, srcRank, tag, m)
-		c.stats.Direct++
-		return
-	}
-	p.Delay(c.ov.Unexpected)
-	buf := make([]byte, n)
-	copy(buf, payload)
-	c.host.Memcpy(p, n)
-	c.stats.Unexpected++
-	c.enqueueUnexpected(p, srcRank, tag, buf)
-}
-
-// progress cannot be paced: FM_extract() in 1.x processes everything
-// pending, presenting data whether or not MPI is ready for it.
-func (b *fm1Binding) progress(p *sim.Proc, limit int) { b.ep.Extract(p) }
-
-func (b *fm1Binding) maxPayload() int { return fm1.DefaultMaxMessage - HeaderSize }
-
-// --- FM 2.x binding: MPI-FM 2.0 (Figure 6) ---
-
-type fm2Binding struct {
-	c   *Comm
-	ep  *fm2.Endpoint
-	opt FM2Options
-}
-
-// FM2Options selects which FM 2.x services MPI-FM 2.0 uses. The ablation
-// benches turn services off one at a time to price each of the paper's API
-// additions.
-type FM2Options struct {
+// Options selects which streaming-transport services the MPI device uses.
+// The ablation benches turn services off one at a time to price each of the
+// paper's API additions. The zero value is the full MPI-FM 2.0 device.
+type Options struct {
 	// Unpaced makes progress drain everything (no receiver flow control).
 	Unpaced bool
 	// NoGather forces FM 1.x-style contiguous assembly before sending.
 	NoGather bool
 }
 
-// AttachFM2 builds MPI-FM 2.0 over FM 2.x on every node. paced enables the
-// receiver-flow-control use of Extract's byte budget; turning it off is an
-// ablation configuration.
-func AttachFM2(pl *cluster.Platform, fmCfg fm2.Config, ov Overheads, paced bool) []*Comm {
-	return AttachFM2Opt(pl, fmCfg, ov, FM2Options{Unpaced: !paced})
-}
-
-// AttachFM2Opt builds MPI-FM 2.0 with explicit service selection.
-func AttachFM2Opt(pl *cluster.Platform, fmCfg fm2.Config, ov Overheads, opt FM2Options) []*Comm {
-	eps := fm2.Attach(pl, fmCfg)
-	comms := make([]*Comm, pl.Nodes())
-	for i := range comms {
-		c := &Comm{rank: i, size: pl.Nodes(), host: pl.Hosts[i], ov: ov}
-		b := &fm2Binding{c: c, ep: eps[i], opt: opt}
-		eps[i].Register(mpiHandlerID, b.handler)
-		c.b = b
+// AttachOver builds the MPI layer over an already-attached set of
+// transports, one per rank. This is the only binding surface: any transport
+// satisfying xport.Transport carries MPI with no MPI-side changes, so a new
+// FM generation (or a different substrate entirely) costs one adapter, not
+// a rewrite of every upper layer.
+func AttachOver(ts []xport.Transport, ov Overheads, opt Options) []*Comm {
+	comms := make([]*Comm, len(ts))
+	for i, t := range ts {
+		c := &Comm{rank: i, size: len(ts), host: t.Host(), t: t, opt: opt, ov: ov}
+		t.Register(mpiHandlerID, c.handler)
 		comms[i] = c
 	}
 	return comms
 }
 
-// send gathers the header and payload straight into packets: no assembly
-// copy (paper §4.1, gather/scatter). With NoGather it re-creates the FM 1.x
-// send-side assembly copy for the ablation bench.
-func (b *fm2Binding) send(p *sim.Proc, dst int, hdr, payload []byte) error {
-	if b.opt.NoGather {
+// AttachFM1 builds MPI-FM over FM 1.x on every node of the platform: the
+// original MPI-FM of Figure 4. The assembly and staging copies that the
+// paper blames on the 1.x interface are charged by the xport staging
+// adapter, not by bespoke MPI glue.
+func AttachFM1(pl *cluster.Platform, fmCfg fm1.Config, ov Overheads) []*Comm {
+	return AttachOver(xport.AttachFM1(pl, fmCfg), ov, Options{})
+}
+
+// AttachFM2 builds MPI-FM 2.0 over FM 2.x on every node: the configuration
+// of Figure 6. paced enables the receiver-flow-control use of Extract's
+// byte budget; turning it off is an ablation configuration.
+func AttachFM2(pl *cluster.Platform, fmCfg fm2.Config, ov Overheads, paced bool) []*Comm {
+	return AttachFM2Opt(pl, fmCfg, ov, Options{Unpaced: !paced})
+}
+
+// AttachFM2Opt builds MPI-FM 2.0 with explicit service selection.
+func AttachFM2Opt(pl *cluster.Platform, fmCfg fm2.Config, ov Overheads, opt Options) []*Comm {
+	return AttachOver(xport.AttachFM2(pl, fmCfg), ov, opt)
+}
+
+// send transmits header and payload as one transport message. The default
+// path gathers them straight into the stream — no assembly copy over FM
+// 2.x, while the FM 1.x adapter charges its own staging copies (paper
+// §3.2). With NoGather the MPI device itself assembles a contiguous buffer
+// first, re-creating the 1.x send-side copy over any transport for the
+// ablation bench.
+func (c *Comm) send(p *sim.Proc, dst int, hdr, payload []byte) error {
+	if c.opt.NoGather {
 		msg := make([]byte, len(hdr)+len(payload))
 		copy(msg, hdr)
 		copy(msg[len(hdr):], payload)
-		b.c.host.Memcpy(p, len(msg))
-		return b.ep.Send(p, dst, mpiHandlerID, msg)
+		c.host.Memcpy(p, len(msg))
+		return xport.Send(p, c.t, dst, mpiHandlerID, msg)
 	}
-	return b.ep.SendGather(p, dst, mpiHandlerID, hdr, payload)
+	return xport.SendGather(p, c.t, dst, mpiHandlerID, hdr, payload)
 }
 
-// handler is the paper's canonical FM 2.x receive pattern: pull the header,
-// match, then scatter the payload directly into the buffer the match chose.
-func (b *fm2Binding) handler(p *sim.Proc, s *fm2.RecvStream) {
-	c := b.c
+// handler is the paper's canonical streaming receive pattern: pull the
+// header, match, then scatter the payload directly into the buffer the
+// match chose. Over FM 2.x this is the zero-staging-copy path of layer
+// interleaving; over FM 1.x the same code runs against the staged message,
+// paying the delivery copy the 1.x interface forces.
+func (c *Comm) handler(p *sim.Proc, s xport.RecvStream) {
 	var hdr [HeaderSize]byte
 	s.Receive(p, hdr[:])
 	srcRank, tag, n, _ := decodeHeader(hdr[:])
@@ -140,7 +87,7 @@ func (b *fm2Binding) handler(p *sim.Proc, s *fm2.RecvStream) {
 		if m > len(req.buf) {
 			m = len(req.buf)
 		}
-		s.Receive(p, req.buf[:m]) // zero-staging: ring -> user buffer
+		s.Receive(p, req.buf[:m]) // stream -> user buffer
 		if m < n {
 			s.ReceiveDiscard(p, n-m)
 		}
@@ -156,14 +103,15 @@ func (b *fm2Binding) handler(p *sim.Proc, s *fm2.RecvStream) {
 	c.enqueueUnexpected(p, srcRank, tag, buf)
 }
 
-// progress paces extraction to the byte budget of the pending receive so
-// data is presented only when MPI can place it (receiver flow control).
-func (b *fm2Binding) progress(p *sim.Proc, limit int) {
-	if !b.opt.Unpaced && limit > 0 {
-		b.ep.Extract(p, limit)
-		return
+// progress services the network. limit is the payload byte budget while a
+// receive is pending — the receiver-flow-control discipline — which
+// transports without pacing (FM 1.x) ignore.
+func (c *Comm) progress(p *sim.Proc, limit int) {
+	if c.opt.Unpaced {
+		limit = 0
 	}
-	b.ep.ExtractAll(p)
+	c.t.Extract(p, limit)
 }
 
-func (b *fm2Binding) maxPayload() int { return fm2.DefaultMaxMessage - HeaderSize }
+// maxPayload reports the largest payload a single message may carry.
+func (c *Comm) maxPayload() int { return c.t.MaxMessage() - HeaderSize }

@@ -175,7 +175,10 @@ func checkReduceArgs(sendbuf, recvbuf []byte, op ReduceOp, needRecv bool) error 
 }
 
 // localCopy charges the host for a same-rank data movement (the self
-// "message" of rooted and all-to-all collectives).
+// "message" of rooted and all-to-all collectives). Transports also support
+// true loopback self-sends, so this is an optimization — one memcpy instead
+// of a full send/receive pair through the matching machinery — not a
+// requirement.
 func (c *Comm) localCopy(p *sim.Proc, dst, src []byte) {
 	n := copy(dst, src)
 	if n > 0 {

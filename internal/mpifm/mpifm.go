@@ -1,21 +1,26 @@
 // Package mpifm implements the MPI-FM point-to-point layer of the paper: an
 // MPI subset (blocking and nonblocking sends/receives with source/tag
-// matching, unexpected-message queueing, barrier) layered over Fast
-// Messages through two bindings:
+// matching, unexpected-message queueing, barrier) plus collectives, layered
+// over the unified streaming transport contract (internal/xport) with one
+// code path for every binding:
 //
-//   - OverFM1: the original MPI-FM. FM 1.x's contiguous-buffer API forces
-//     an assembly copy on send (header + payload into one buffer) and, on
-//     receive, delivery from FM's staging into either the user buffer or —
-//     because FM_extract cannot be paced — an unexpected-message pool,
-//     costing further copies. This is the configuration of Figure 4.
+//   - Over FM 1.x (xport.AttachFM1): the original MPI-FM. The staging
+//     adapter charges the assembly copy on send (header + payload into one
+//     buffer) and the delivery copy out of FM's staging on receive, and —
+//     because FM_extract cannot be paced — arrivals often take the
+//     unexpected-message pool, costing further copies. This is the
+//     configuration of Figure 4.
 //
-//   - OverFM2: MPI-FM 2.0. Gather sends the 24-byte MPI header (paper §5:
-//     "the minimum length of the header added by the MPI code is 24 bytes")
-//     and payload with no assembly copy; the receive handler reads the
-//     header, matches a posted receive, and scatters the payload directly
-//     into the user buffer; Extract's byte budget paces extraction to the
-//     posted receive so messages rarely take the unexpected path. This is
-//     the configuration of Figure 6.
+//   - Over FM 2.x (xport.AttachFM2): MPI-FM 2.0. Gather sends the 24-byte
+//     MPI header (paper §5: "the minimum length of the header added by the
+//     MPI code is 24 bytes") and payload with no assembly copy; the receive
+//     handler reads the header, matches a posted receive, and scatters the
+//     payload directly into the user buffer; Extract's byte budget paces
+//     extraction to the posted receive so messages rarely take the
+//     unexpected path. This is the configuration of Figure 6.
+//
+// A rank may send to itself: the transports model self-sends as host-memcpy
+// loopback that never touches the NIC.
 //
 // Like FM itself, a Comm is single-threaded: one Proc per rank.
 package mpifm
@@ -26,6 +31,7 @@ import (
 
 	"repro/internal/hostmodel"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
 // Wildcards for Recv matching.
@@ -106,22 +112,12 @@ type Stats struct {
 	Unexpected int64 // payload buffered in the pool first
 }
 
-// binding abstracts which FM generation carries the bytes.
-type binding interface {
-	// send transmits header+payload as one FM message.
-	send(p *sim.Proc, dst int, hdr []byte, payload []byte) error
-	// progress services the network; limit is a payload byte budget that
-	// bindings without receiver flow control ignore.
-	progress(p *sim.Proc, limit int)
-	// maxPayload reports the largest payload a single message may carry.
-	maxPayload() int
-}
-
 // Comm is one rank's communicator (MPI_COMM_WORLD).
 type Comm struct {
 	rank, size int
 	host       *hostmodel.Host
-	b          binding
+	t          xport.Transport
+	opt        Options
 	ov         Overheads
 	seq        int32
 
@@ -169,21 +165,23 @@ func decodeHeader(h []byte) (src, tag, n int, kind int32) {
 
 // Send transmits buf to rank dst with the given tag (eager protocol: it
 // returns when the buffer is reusable, which for FM means when the message
-// has been handed to the NIC under flow control).
+// has been handed to the NIC under flow control). dst may be the sending
+// rank itself: the message takes the transport's loopback path and is
+// matched against this rank's posted or unexpected queues like any other.
 func (c *Comm) Send(p *sim.Proc, buf []byte, dst, tag int) error {
 	if dst < 0 || dst >= c.size {
 		return fmt.Errorf("mpifm: bad rank %d", dst)
 	}
-	if len(buf) > c.b.maxPayload() {
+	if len(buf) > c.maxPayload() {
 		return fmt.Errorf("mpifm: message of %d bytes exceeds transport limit %d",
-			len(buf), c.b.maxPayload())
+			len(buf), c.maxPayload())
 	}
 	if tag < 0 {
 		return fmt.Errorf("mpifm: negative tag %d", tag)
 	}
 	p.Delay(c.ov.Send)
 	hdr := c.encodeHeader(tag, len(buf), kindPt2Pt)
-	if err := c.b.send(p, dst, hdr, buf); err != nil {
+	if err := c.send(p, dst, hdr, buf); err != nil {
 		return err
 	}
 	c.stats.Sent++
@@ -218,7 +216,7 @@ func (c *Comm) Irecv(p *sim.Proc, buf []byte, src, tag int) (*Request, error) {
 // Wait blocks (in virtual time) until req completes, driving progress.
 func (c *Comm) Wait(p *sim.Proc, req *Request) Status {
 	for !req.done {
-		c.b.progress(p, c.progressLimit(req))
+		c.progress(p, c.progressLimit(req))
 	}
 	return req.st
 }

@@ -178,7 +178,7 @@ func TestUnexpectedThenPosted(t *testing.T) {
 		k.Spawn("rank1", func(p *sim.Proc) {
 			// Let the message arrive and get extracted as unexpected.
 			p.Delay(2 * sim.Millisecond)
-			comms[1].b.progress(p, 0)
+			comms[1].progress(p, 0)
 			if comms[1].Stats().Unexpected != 1 {
 				t.Errorf("unexpected count %d, want 1", comms[1].Stats().Unexpected)
 			}
@@ -430,4 +430,47 @@ func TestPropertyRandomTraffic(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestSelfSend(t *testing.T) {
+	// A rank may send to itself on either binding: the transport loopback
+	// delivers through the same matching machinery as remote traffic, both
+	// when the receive is pre-posted (direct) and when it is not (pool).
+	bothWorlds(t, 2, func(t *testing.T, k *sim.Kernel, comms []*Comm) {
+		payload := bytes.Repeat([]byte{0x42}, 700)
+		k.Spawn("rank0", func(p *sim.Proc) {
+			// Pre-posted: loopback completes the request during Send.
+			buf := make([]byte, len(payload))
+			req, err := comms[0].Irecv(p, buf, 0, 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := comms[0].Send(p, payload, 0, 5); err != nil {
+				t.Error(err)
+				return
+			}
+			st := comms[0].Wait(p, req)
+			if st.Source != 0 || st.Len != len(payload) || !bytes.Equal(buf, payload) {
+				t.Errorf("pre-posted self-send corrupted: %+v", st)
+			}
+			// Unexpected: Send first, then Recv drains the pool.
+			if err := comms[0].Send(p, payload, 0, 6); err != nil {
+				t.Error(err)
+				return
+			}
+			buf2 := make([]byte, len(payload))
+			st2, err := comms[0].Recv(p, buf2, 0, 6)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(buf2, payload) || st2.Len != len(payload) {
+				t.Error("unexpected-path self-send corrupted")
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }

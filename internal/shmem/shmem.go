@@ -1,23 +1,24 @@
 // Package shmem implements a Shmem-style one-sided Put/Get interface over
-// FM 2.x — one of the global-address-space APIs the paper reports layering
-// on FM (§4.2: "we have implemented other APIs, including Shmem Put/Get and
-// Global Arrays").
+// the unified streaming transport (internal/xport) — one of the
+// global-address-space APIs the paper reports layering on FM (§4.2: "we
+// have implemented other APIs, including Shmem Put/Get and Global Arrays").
 //
 // Each node registers named memory regions. Put writes into a remote
-// region; Get reads from one. The FM 2.x receive handler scatters incoming
-// Put payloads directly into the target region — another instance of the
-// zero-staging-copy path that layer interleaving enables.
+// region; Get reads from one. Over FM 2.x the receive handler scatters
+// incoming Put payloads directly into the target region — another instance
+// of the zero-staging-copy path that layer interleaving enables; over the
+// FM 1.x adapter the same handler pays the staged delivery copy instead.
 package shmem
 
 import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/fm2"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
-// shmemHandlerID is the FM handler slot the shmem layer claims.
+// shmemHandlerID is the transport handler slot the shmem layer claims.
 const shmemHandlerID = 3
 
 // header: kind(1) pad(3) region(4) offset(4) length(4) reqID(4).
@@ -42,7 +43,7 @@ type Stats struct {
 
 // Node is one rank's shmem attachment.
 type Node struct {
-	ep      *fm2.Endpoint
+	t       xport.Transport
 	regions map[uint32][]byte
 	pending int // outstanding put acks
 	getWait map[uint32][]byte
@@ -51,20 +52,20 @@ type Node struct {
 	stats   Stats
 }
 
-// New attaches shmem to an FM 2.x endpoint.
-func New(ep *fm2.Endpoint) *Node {
+// New attaches shmem to a streaming transport.
+func New(t xport.Transport) *Node {
 	n := &Node{
-		ep:      ep,
+		t:       t,
 		regions: make(map[uint32][]byte),
 		getWait: make(map[uint32][]byte),
 		getDone: make(map[uint32]bool),
 	}
-	ep.Register(shmemHandlerID, n.handler)
+	t.Register(shmemHandlerID, n.handler)
 	return n
 }
 
 // Rank reports the node ID.
-func (n *Node) Rank() int { return n.ep.Node() }
+func (n *Node) Rank() int { return n.t.Node() }
 
 // Stats returns a copy of the counters.
 func (n *Node) Stats() Stats { return n.stats }
@@ -95,7 +96,7 @@ func encode(kind int, region uint32, off, length int, req uint32) []byte {
 // once the message is handed off; call Quiet to wait for remote completion.
 func (n *Node) Put(p *sim.Proc, target int, region uint32, offset int, data []byte) error {
 	hdr := encode(kindPut, region, offset, len(data), 0)
-	if err := n.ep.SendGather(p, target, shmemHandlerID, hdr, data); err != nil {
+	if err := xport.SendGather(p, n.t, target, shmemHandlerID, hdr, data); err != nil {
 		return err
 	}
 	n.pending++
@@ -108,7 +109,7 @@ func (n *Node) Put(p *sim.Proc, target int, region uint32, offset int, data []by
 // target — the SHMEM quiet/fence semantic.
 func (n *Node) Quiet(p *sim.Proc) {
 	for n.pending > 0 {
-		n.ep.Extract(p, 0)
+		n.t.Extract(p, 0)
 	}
 }
 
@@ -118,11 +119,11 @@ func (n *Node) Get(p *sim.Proc, target int, region uint32, offset int, buf []byt
 	n.nextReq++
 	n.getWait[req] = buf
 	hdr := encode(kindGetReq, region, offset, len(buf), req)
-	if err := n.ep.Send(p, target, shmemHandlerID, hdr); err != nil {
+	if err := xport.Send(p, n.t, target, shmemHandlerID, hdr); err != nil {
 		return err
 	}
 	for !n.getDone[req] {
-		n.ep.Extract(p, 0)
+		n.t.Extract(p, 0)
 	}
 	delete(n.getDone, req)
 	n.stats.Gets++
@@ -132,10 +133,10 @@ func (n *Node) Get(p *sim.Proc, target int, region uint32, offset int, buf []byt
 
 // Progress services the network once; nodes acting as passive targets must
 // call it (or any blocking op) periodically.
-func (n *Node) Progress(p *sim.Proc) { n.ep.Extract(p, 0) }
+func (n *Node) Progress(p *sim.Proc) { n.t.Extract(p, 0) }
 
-// handler serves one-sided traffic on FM handler threads.
-func (n *Node) handler(p *sim.Proc, s *fm2.RecvStream) {
+// handler serves one-sided traffic on transport handler threads.
+func (n *Node) handler(p *sim.Proc, s xport.RecvStream) {
 	var hdr [headerSize]byte
 	s.Receive(p, hdr[:])
 	kind := int(hdr[0])
@@ -154,7 +155,7 @@ func (n *Node) handler(p *sim.Proc, s *fm2.RecvStream) {
 		s.Receive(p, mem[off:off+length])
 		n.stats.RemotePuts++
 		n.stats.DirectPutBytes += int64(length)
-		if err := n.ep.Send(p, s.Src(), shmemHandlerID, encode(kindPutAck, region, off, length, 0)); err != nil {
+		if err := xport.Send(p, n.t, s.Src(), shmemHandlerID, encode(kindPutAck, region, off, length, 0)); err != nil {
 			panic(fmt.Sprintf("shmem: put ack failed: %v", err))
 		}
 	case kindPutAck:
@@ -169,7 +170,7 @@ func (n *Node) handler(p *sim.Proc, s *fm2.RecvStream) {
 		} else {
 			payload = make([]byte, length) // zeros for an invalid request
 		}
-		if err := n.ep.SendGather(p, s.Src(), shmemHandlerID, resp, payload); err != nil {
+		if err := xport.SendGather(p, n.t, s.Src(), shmemHandlerID, resp, payload); err != nil {
 			panic(fmt.Sprintf("shmem: get response failed: %v", err))
 		}
 	case kindGetResp:

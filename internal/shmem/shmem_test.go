@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fm2"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
 func nodes(n int) (*sim.Kernel, []*Node) {
@@ -14,10 +15,10 @@ func nodes(n int) (*sim.Kernel, []*Node) {
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = n
 	pl := cluster.New(k, cfg)
-	eps := fm2.Attach(pl, fm2.Config{})
+	ts := xport.AttachFM2(pl, fm2.Config{})
 	out := make([]*Node, n)
 	for i := range out {
-		out[i] = New(eps[i])
+		out[i] = New(ts[i])
 	}
 	return k, out
 }

@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -38,22 +37,55 @@ type event struct {
 	fn   func() // executed in driver context (timers, monitors)
 }
 
+// eventHeap is a binary min-heap ordered by (time, seq). The sift
+// operations are inlined on the slice rather than going through
+// container/heap, which would box every event into an interface{} — an
+// allocation per scheduled event on the kernel's hottest path. The backing
+// array is reused across push/pop cycles.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	e := s[n]
+	s[n] = event{} // drop proc/fn references so the GC can reclaim them
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s.less(r, c) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
 	return e
 }
 
@@ -93,7 +125,7 @@ func (k *Kernel) Stopped() bool { return k.stopped }
 func (k *Kernel) push(e event) {
 	e.seq = k.seq
 	k.seq++
-	heap.Push(&k.eq, e)
+	k.eq.push(e)
 }
 
 // At schedules fn to run in driver context at absolute virtual time t
@@ -142,10 +174,11 @@ func (k *Kernel) RunUntil(t Time) error { return k.run(t) }
 func (k *Kernel) run(horizon Time) error {
 	k.horizon = horizon
 	for !k.stopped && len(k.eq) > 0 {
-		ev := heap.Pop(&k.eq).(event)
+		ev := k.eq.pop()
 		if horizon != 0 && ev.t > horizon {
-			// Past the horizon: put it back and stop the clock here.
-			heap.Push(&k.eq, ev)
+			// Past the horizon: put it back (seq preserved) and stop the
+			// clock here.
+			k.eq.push(ev)
 			k.now = horizon
 			return nil
 		}

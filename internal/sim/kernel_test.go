@@ -585,3 +585,24 @@ func TestTimeString(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkKernelChurn locks in the allocation behavior of the event-queue
+// hot path: a long Delay chain pushes and pops one event per step. The
+// hand-rolled heap keeps this free of the per-event interface boxing that
+// container/heap would charge, and the backing array is reused throughout.
+func BenchmarkKernelChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		for j := 0; j < 4; j++ {
+			k.Spawn("p", func(p *Proc) {
+				for step := 0; step < 2500; step++ {
+					p.Delay(Microsecond)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

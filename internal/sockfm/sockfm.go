@@ -1,6 +1,8 @@
 // Package sockfm implements Sockets-FM: Berkeley-style stream sockets over
-// FM 2.x, one of the higher-level APIs the paper layers on FM (§3.2, §4.2).
-// It exercises all three FM 2.x services:
+// the unified streaming transport (internal/xport), one of the higher-level
+// APIs the paper layers on FM (§3.2, §4.2). It exercises all three FM 2.x
+// services, which degrade gracefully to the staged FM 1.x path when run
+// over the 1.x adapter:
 //
 //   - gather: each segment is sent as socket header + payload pieces;
 //   - layer interleaving: the receive handler reads the header, then lands
@@ -18,11 +20,11 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/fm2"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
-// sockHandlerID is the FM handler slot the socket stack claims.
+// sockHandlerID is the transport handler slot the socket stack claims.
 const sockHandlerID = 2
 
 // headerSize is the socket segment header: kind(1) pad(1) port(2)
@@ -48,26 +50,26 @@ var (
 
 // Stack is one node's socket layer.
 type Stack struct {
-	ep        *fm2.Endpoint
+	t         xport.Transport
 	listeners map[int]*Listener
 	conns     map[uint32]*Conn
 	nextID    uint32
 }
 
-// NewStack attaches a socket stack to an FM 2.x endpoint.
-func NewStack(ep *fm2.Endpoint) *Stack {
+// NewStack attaches a socket stack to a streaming transport.
+func NewStack(t xport.Transport) *Stack {
 	s := &Stack{
-		ep:        ep,
+		t:         t,
 		listeners: make(map[int]*Listener),
 		conns:     make(map[uint32]*Conn),
 		nextID:    1,
 	}
-	ep.Register(sockHandlerID, s.handler)
+	t.Register(sockHandlerID, s.handler)
 	return s
 }
 
 // Node reports the stack's node ID.
-func (s *Stack) Node() int { return s.ep.Node() }
+func (s *Stack) Node() int { return s.t.Node() }
 
 // Listener accepts inbound connections on a port.
 type Listener struct {
@@ -169,7 +171,7 @@ func (c *Conn) Write(p *sim.Proc, data []byte) (int, error) {
 			n = MaxSegment
 		}
 		hdr := c.s.encode(kindDATA, c.port, c.localID, c.peerID)
-		if err := c.s.ep.SendGather(p, c.peerNode, sockHandlerID, hdr, data[sent:sent+n]); err != nil {
+		if err := xport.SendGather(p, c.s.t, c.peerNode, sockHandlerID, hdr, data[sent:sent+n]); err != nil {
 			return sent, err
 		}
 		sent += n
@@ -228,7 +230,7 @@ func (c *Conn) drain(p *sim.Proc, buf []byte) int {
 		c.rxBytes -= m
 	}
 	if n > 0 {
-		c.s.ep.Host().Memcpy(p, n)
+		c.s.t.Host().Memcpy(p, n)
 	}
 	return n
 }
@@ -254,7 +256,7 @@ func (c *Conn) PeerNode() int { return c.peerNode }
 
 // progress services the network once.
 func (s *Stack) progress(p *sim.Proc, limit int) {
-	s.ep.Extract(p, limit)
+	s.t.Extract(p, limit)
 }
 
 func (s *Stack) encode(kind, port int, srcConn, dstConn uint32) []byte {
@@ -267,15 +269,15 @@ func (s *Stack) encode(kind, port int, srcConn, dstConn uint32) []byte {
 }
 
 func (s *Stack) sendCtl(p *sim.Proc, node, kind, port int, srcConn, dstConn uint32) {
-	if err := s.ep.Send(p, node, sockHandlerID, s.encode(kind, port, srcConn, dstConn)); err != nil {
+	if err := xport.Send(p, s.t, node, sockHandlerID, s.encode(kind, port, srcConn, dstConn)); err != nil {
 		panic(fmt.Sprintf("sockfm: control send failed: %v", err))
 	}
 }
 
-// handler demultiplexes inbound segments. It runs on an FM handler thread;
-// for DATA it lands payload directly into a posted Read buffer when one is
-// outstanding (zero staging copy) and buffers otherwise.
-func (s *Stack) handler(p *sim.Proc, str *fm2.RecvStream) {
+// handler demultiplexes inbound segments. It runs on a transport handler
+// thread; for DATA it lands payload directly into a posted Read buffer when
+// one is outstanding (zero staging copy over FM 2.x) and buffers otherwise.
+func (s *Stack) handler(p *sim.Proc, str xport.RecvStream) {
 	var hdr [headerSize]byte
 	str.Receive(p, hdr[:])
 	kind := int(hdr[0])

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fm2"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
 func stacks(nodes int) (*sim.Kernel, []*Stack) {
@@ -17,10 +18,10 @@ func stacks(nodes int) (*sim.Kernel, []*Stack) {
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = nodes
 	pl := cluster.New(k, cfg)
-	eps := fm2.Attach(pl, fm2.Config{})
+	ts := xport.AttachFM2(pl, fm2.Config{})
 	sts := make([]*Stack, nodes)
 	for i := range sts {
-		sts[i] = NewStack(eps[i])
+		sts[i] = NewStack(ts[i])
 	}
 	return k, sts
 }

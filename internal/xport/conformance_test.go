@@ -1,0 +1,289 @@
+// Cross-binding conformance matrix: every upper layer, run over every FM
+// generation through xport.Transport, must deliver identical bytes — and
+// each (layer, binding) cell must be deterministic in virtual time. This is
+// the correctness half of the paper's layering claim: the binding changes
+// the cost of a layer, never its semantics.
+package xport_test
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fm1"
+	"repro/internal/fm2"
+	"repro/internal/garr"
+	"repro/internal/mpifm"
+	"repro/internal/shmem"
+	"repro/internal/sim"
+	"repro/internal/sockfm"
+	"repro/internal/xport"
+)
+
+// bindingCase attaches one FM generation to a platform.
+type bindingCase struct {
+	name   string
+	attach func(pl *cluster.Platform) []xport.Transport
+}
+
+var bindingCases = []bindingCase{
+	{"fm1", func(pl *cluster.Platform) []xport.Transport { return xport.AttachFM1(pl, fm1.Config{}) }},
+	{"fm2", func(pl *cluster.Platform) []xport.Transport { return xport.AttachFM2(pl, fm2.Config{}) }},
+}
+
+// pattern fills n bytes with a deterministic sequence seeded by s.
+func pattern(n int, s byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(s)*31 + i*7 + 11)
+	}
+	return b
+}
+
+// scenario drives one upper layer on a fresh kernel. run spawns the procs
+// and returns a finalize func, called after the kernel drains, that
+// produces the delivered-bytes digest in a proc-order-independent way.
+type scenario struct {
+	name  string
+	nodes int
+	run   func(t *testing.T, k *sim.Kernel, ts []xport.Transport) func() []byte
+}
+
+var scenarios = []scenario{
+	{name: "mpi", nodes: 2, run: mpiScenario},
+	{name: "sock", nodes: 2, run: sockScenario},
+	{name: "shmem", nodes: 2, run: shmemScenario},
+	{name: "garr", nodes: 3, run: garrScenario},
+}
+
+func mpiScenario(t *testing.T, k *sim.Kernel, ts []xport.Transport) func() []byte {
+	comms := mpifm.AttachOver(ts, mpifm.PProOverheads(), mpifm.Options{})
+	sizes := []int{1, 100, 613, 2048, 5000}
+	var rank0Got, rank1Got bytes.Buffer
+	k.Spawn("rank0", func(p *sim.Proc) {
+		for i, n := range sizes {
+			if err := comms[0].Send(p, pattern(n, byte(i+1)), 1, i+1); err != nil {
+				t.Error(err)
+			}
+		}
+		// Self-send: loopback delivery, unexpected path first.
+		if err := comms[0].Send(p, pattern(64, 0xEE), 0, 7); err != nil {
+			t.Error(err)
+		}
+		b := make([]byte, 64)
+		st, err := comms[0].Recv(p, b, 0, 7)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rank0Got.Write(b[:st.Len])
+	})
+	k.Spawn("rank1", func(p *sim.Proc) {
+		for i, n := range sizes {
+			b := make([]byte, n)
+			st, err := comms[1].Recv(p, b, 0, i+1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rank1Got.Write(b[:st.Len])
+		}
+	})
+	return func() []byte { return append(rank0Got.Bytes(), rank1Got.Bytes()...) }
+}
+
+func sockScenario(t *testing.T, k *sim.Kernel, ts []xport.Transport) func() []byte {
+	stacks := []*sockfm.Stack{sockfm.NewStack(ts[0]), sockfm.NewStack(ts[1])}
+	var got bytes.Buffer
+	k.Spawn("server", func(p *sim.Proc) {
+		l, err := stacks[0].Listen(80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 777) // odd size: reads cross segment boundaries
+		for {
+			n, err := conn.Read(p, buf)
+			got.Write(buf[:n])
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	k.Spawn("client", func(p *sim.Proc) {
+		conn, err := stacks[1].Dial(p, 0, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i, n := range []int{1, 512, 4000, 40000} {
+			if _, err := conn.Write(p, pattern(n, byte(i+1))); err != nil {
+				t.Error(err)
+			}
+		}
+		conn.Close(p)
+	})
+	return func() []byte { return got.Bytes() }
+}
+
+func shmemScenario(t *testing.T, k *sim.Kernel, ts []xport.Transport) func() []byte {
+	n0, n1 := shmem.New(ts[0]), shmem.New(ts[1])
+	region := make([]byte, 4096)
+	n1.Register(9, region)
+	n0.Register(9, make([]byte, 4096))
+	fetched := make([]byte, 1500)
+	done := false
+	k.Spawn("origin", func(p *sim.Proc) {
+		if err := n0.Put(p, 1, 9, 100, pattern(2000, 3)); err != nil {
+			t.Error(err)
+		}
+		if err := n0.Put(p, 1, 9, 2500, pattern(700, 5)); err != nil {
+			t.Error(err)
+		}
+		n0.Quiet(p)
+		if err := n0.Get(p, 1, 9, 600, fetched); err != nil {
+			t.Error(err)
+		}
+		done = true
+	})
+	k.Spawn("target", func(p *sim.Proc) {
+		for !done {
+			n1.Progress(p)
+			p.Delay(sim.Microsecond)
+		}
+	})
+	return func() []byte { return append(append([]byte(nil), region...), fetched...) }
+}
+
+func garrScenario(t *testing.T, k *sim.Kernel, ts []xport.Transport) func() []byte {
+	const elems = 500
+	nodes := make([]*shmem.Node, len(ts))
+	arrays := make([]*garr.Array, len(ts))
+	for i, tr := range ts {
+		nodes[i] = shmem.New(tr)
+		a, err := garr.New(nodes[i], 1, elems, len(ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrays[i] = a
+	}
+	out := make([]float64, elems)
+	done := false
+	k.Spawn("rank0", func(p *sim.Proc) {
+		vals := make([]float64, elems)
+		for i := range vals {
+			vals[i] = float64(i)*1.5 - 7
+		}
+		// The whole-array Put and Get both span every owner rank.
+		if err := arrays[0].Put(p, 0, vals); err != nil {
+			t.Error(err)
+		}
+		if err := arrays[0].Get(p, 0, out); err != nil {
+			t.Error(err)
+		}
+		done = true
+	})
+	for r := 1; r < len(ts); r++ {
+		r := r
+		k.Spawn("serve", func(p *sim.Proc) {
+			for !done {
+				arrays[r].Progress(p)
+				p.Delay(sim.Microsecond)
+			}
+		})
+	}
+	return func() []byte {
+		var buf bytes.Buffer
+		for _, v := range out {
+			bits := math.Float64bits(v)
+			for s := 0; s < 64; s += 8 {
+				buf.WriteByte(byte(bits >> s))
+			}
+		}
+		return buf.Bytes()
+	}
+}
+
+// TestCrossBindingConformance is the conformance matrix: for every upper
+// layer, both bindings must deliver byte-identical results, and each cell
+// must complete at an identical virtual time across repeated runs.
+func TestCrossBindingConformance(t *testing.T) {
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			digests := map[string][]byte{}
+			for _, bc := range bindingCases {
+				var ends []sim.Time
+				var runs [][]byte
+				for i := 0; i < 2; i++ {
+					k := sim.NewKernel()
+					cfg := cluster.DefaultConfig()
+					cfg.Nodes = sc.nodes
+					pl := cluster.New(k, cfg)
+					finalize := sc.run(t, k, bc.attach(pl))
+					if err := k.Run(); err != nil {
+						t.Fatalf("%s/%s: %v", sc.name, bc.name, err)
+					}
+					ends = append(ends, k.Now())
+					runs = append(runs, finalize())
+				}
+				if ends[0] != ends[1] {
+					t.Errorf("%s/%s nondeterministic: run times %v vs %v", sc.name, bc.name, ends[0], ends[1])
+				}
+				if !bytes.Equal(runs[0], runs[1]) {
+					t.Errorf("%s/%s nondeterministic: delivered bytes differ between runs", sc.name, bc.name)
+				}
+				if len(runs[0]) == 0 {
+					t.Fatalf("%s/%s delivered no bytes", sc.name, bc.name)
+				}
+				digests[bc.name] = runs[0]
+			}
+			if !bytes.Equal(digests["fm1"], digests["fm2"]) {
+				t.Errorf("%s delivers different bytes over fm1 and fm2", sc.name)
+			}
+		})
+	}
+}
+
+// TestLoopbackAcrossBindings pins the loopback satellite at the transport
+// level: a self-send on either binding delivers identical bytes to the
+// local handler without an attached peer extracting anything.
+func TestLoopbackAcrossBindings(t *testing.T) {
+	for _, bc := range bindingCases {
+		bc := bc
+		t.Run(bc.name, func(t *testing.T) {
+			k := sim.NewKernel()
+			pl := cluster.New(k, cluster.DefaultConfig())
+			ts := bc.attach(pl)
+			var got []byte
+			ts[0].Register(4, func(p *sim.Proc, s xport.RecvStream) {
+				buf := make([]byte, s.Length())
+				s.Receive(p, buf)
+				got = buf
+			})
+			want := pattern(3000, 9)
+			k.Spawn("self", func(p *sim.Proc) {
+				if err := xport.SendGather(p, ts[0], 0, 4, want[:11], want[11:]); err != nil {
+					t.Error(err)
+				}
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("loopback bytes corrupted")
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package xport
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fm1"
+	"repro/internal/hostmodel"
+	"repro/internal/sim"
+)
+
+// fm1Transport adapts the FM 1.x contiguous-buffer API to the streaming
+// contract. The adaptation is not free, by design: the paper's Figure 4
+// blames the 1.x interface for exactly the copies this adapter must perform
+// — send-side assembly of the gathered pieces into one buffer plus an
+// encapsulation traversal, and receive-side delivery out of FM's staging
+// area. Running a layer over OverFM1 vs OverFM2 therefore reproduces the
+// layering-cost ablation with a single upper-layer code path.
+type fm1Transport struct {
+	ep *fm1.Endpoint
+}
+
+// OverFM1 exposes an FM 1.x endpoint as a Transport through the
+// staging-copy adapter.
+func OverFM1(ep *fm1.Endpoint) Transport {
+	return &fm1Transport{ep: ep}
+}
+
+// AttachFM1 builds FM 1.x transports for every node of the platform.
+func AttachFM1(pl *cluster.Platform, cfg fm1.Config) []Transport {
+	eps := fm1.Attach(pl, cfg)
+	ts := make([]Transport, len(eps))
+	for i, ep := range eps {
+		ts[i] = OverFM1(ep)
+	}
+	return ts
+}
+
+func (t *fm1Transport) Node() int             { return t.ep.Node() }
+func (t *fm1Transport) Host() *hostmodel.Host { return t.ep.Host() }
+func (t *fm1Transport) MTU() int              { return t.ep.MTU() }
+func (t *fm1Transport) MaxMessage() int       { return t.ep.MaxMessage() }
+
+// Extract services the network. FM 1.x has no receiver flow control:
+// FM_extract() processes everything pending, presenting data whether or not
+// the upper layer is ready, so the byte budget is ignored.
+func (t *fm1Transport) Extract(p *sim.Proc, maxBytes int) int {
+	return t.ep.Extract(p)
+}
+
+func (t *fm1Transport) Register(id HandlerID, fn Handler) {
+	t.ep.Register(fm1.HandlerID(id), func(p *sim.Proc, src int, data []byte) {
+		fn(p, &stagedStream{t: t, src: src, data: data, msglen: len(data)})
+	})
+}
+
+func (t *fm1Transport) BeginMessage(p *sim.Proc, dst, size int, h HandlerID) (SendStream, error) {
+	if size < 0 || size > t.ep.MaxMessage() {
+		return nil, fmt.Errorf("xport/fm1: message size %d out of range [0,%d]", size, t.ep.MaxMessage())
+	}
+	return &fm1SendStream{t: t, dst: dst, handler: h, buf: make([]byte, 0, size), total: size}, nil
+}
+
+// fm1SendStream assembles the gathered pieces into one contiguous message —
+// the copy the FM 1.x API forces on every send.
+type fm1SendStream struct {
+	t       *fm1Transport
+	dst     int
+	handler HandlerID
+	buf     []byte
+	total   int
+	closed  bool
+}
+
+func (s *fm1SendStream) SendPiece(p *sim.Proc, buf []byte) error {
+	if s.closed {
+		return fmt.Errorf("xport/fm1: SendPiece after EndMessage")
+	}
+	if len(s.buf)+len(buf) > s.total {
+		return fmt.Errorf("xport/fm1: piece overflows declared size %d (already %d, piece %d)",
+			s.total, len(s.buf), len(buf))
+	}
+	s.buf = append(s.buf, buf...)
+	s.t.ep.Host().Memcpy(p, len(buf)) // assembly copy into the staging buffer
+	return nil
+}
+
+func (s *fm1SendStream) EndMessage(p *sim.Proc) error {
+	if s.closed {
+		return fmt.Errorf("xport/fm1: double EndMessage")
+	}
+	if len(s.buf) != s.total {
+		return fmt.Errorf("xport/fm1: EndMessage with %d of %d declared bytes sent", len(s.buf), s.total)
+	}
+	s.closed = true
+	// Encapsulation/checksum traversal: FM 1.x-era devices walk the
+	// assembled message once more before handing it to FM (paper §3.2).
+	s.t.ep.Host().Memcpy(p, len(s.buf))
+	// fm1.Endpoint handles dst == self as a loopback dispatch, with the
+	// same stats and unknown-handler-discard semantics as remote delivery.
+	return s.t.ep.Send(p, s.dst, fm1.HandlerID(s.handler), s.buf)
+}
+
+// stagedStream presents a fully-staged FM 1.x message through the pull
+// interface. Receive never blocks — the whole message is already in FM's
+// buffer — but each pull charges the delivery copy out of staging, the
+// receive-side half of the 1.x interface tax.
+type stagedStream struct {
+	t      *fm1Transport
+	src    int
+	data   []byte // unconsumed remainder; aliases FM buffers
+	msglen int
+}
+
+func (s *stagedStream) Src() int       { return s.src }
+func (s *stagedStream) Length() int    { return s.msglen }
+func (s *stagedStream) Remaining() int { return len(s.data) }
+
+func (s *stagedStream) Receive(p *sim.Proc, buf []byte) int {
+	n := copy(buf, s.data)
+	s.data = s.data[n:]
+	if n > 0 {
+		s.t.ep.Host().Memcpy(p, n)
+	}
+	return n
+}
+
+func (s *stagedStream) ReceiveDiscard(p *sim.Proc, n int) int {
+	if n > len(s.data) {
+		n = len(s.data)
+	}
+	s.data = s.data[n:]
+	return n
+}

@@ -1,0 +1,49 @@
+package xport
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/fm2"
+	"repro/internal/hostmodel"
+	"repro/internal/sim"
+)
+
+// fm2Transport is the native binding: FM 2.x already has the contract's
+// shape, so every method is a direct delegation.
+type fm2Transport struct {
+	ep *fm2.Endpoint
+}
+
+// OverFM2 exposes an FM 2.x endpoint as a Transport.
+func OverFM2(ep *fm2.Endpoint) Transport { return &fm2Transport{ep: ep} }
+
+// AttachFM2 builds FM 2.x transports for every node of the platform.
+func AttachFM2(pl *cluster.Platform, cfg fm2.Config) []Transport {
+	eps := fm2.Attach(pl, cfg)
+	ts := make([]Transport, len(eps))
+	for i, ep := range eps {
+		ts[i] = OverFM2(ep)
+	}
+	return ts
+}
+
+func (t *fm2Transport) Node() int             { return t.ep.Node() }
+func (t *fm2Transport) Host() *hostmodel.Host { return t.ep.Host() }
+func (t *fm2Transport) MTU() int              { return t.ep.MTU() }
+func (t *fm2Transport) MaxMessage() int       { return t.ep.MaxMessage() }
+func (t *fm2Transport) Extract(p *sim.Proc, maxBytes int) int {
+	return t.ep.Extract(p, maxBytes)
+}
+
+func (t *fm2Transport) Register(id HandlerID, fn Handler) {
+	// *fm2.RecvStream satisfies RecvStream structurally; only the handler
+	// signature needs bridging.
+	t.ep.Register(fm2.HandlerID(id), func(p *sim.Proc, s *fm2.RecvStream) { fn(p, s) })
+}
+
+func (t *fm2Transport) BeginMessage(p *sim.Proc, dst, size int, h HandlerID) (SendStream, error) {
+	s, err := t.ep.BeginMessage(p, dst, size, fm2.HandlerID(h))
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}

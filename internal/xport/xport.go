@@ -1,0 +1,118 @@
+// Package xport defines the unified streaming transport contract that every
+// upper layer of this reproduction (MPI-FM, Sockets-FM, Shmem, Global
+// Arrays) programs against, and that every Fast Messages generation
+// implements. It is the paper's central interface argument made structural:
+// the FM 2.x services — gather/scatter streaming, layer interleaving,
+// receiver flow control — are exactly what a messaging layer needs to carry
+// *any* API efficiently (§4), so the 2.x shape IS the contract:
+//
+//	BeginMessage / SendPiece / EndMessage   on the send side
+//	handler-driven Receive pull + Extract   on the receive side
+//
+// FM 2.x satisfies the contract natively (OverFM2 is a thin wrapper).
+// FM 1.x satisfies it through a staging-copy adapter (OverFM1) whose
+// explicit assembly and delivery copies are the interface tax the paper's
+// Figure 4 measures — running any layer over both bindings prices the API
+// difference with no layer-specific glue.
+//
+// Like the FM libraries themselves, a Transport is single-threaded: exactly
+// one Proc per node drives BeginMessage/Extract; handlers run only inside
+// Extract (or inline for loopback sends).
+package xport
+
+import (
+	"repro/internal/hostmodel"
+	"repro/internal/sim"
+)
+
+// HandlerID names a registered message handler, carried in message headers.
+type HandlerID uint16
+
+// Handler processes one incoming message, pulling its bytes through
+// RecvStream.Receive. Over FM 2.x it runs on its own logical thread and may
+// block mid-message; over FM 1.x the message is fully staged before the
+// handler starts, so Receive never blocks. Handlers must not retain the
+// stream past their return.
+type Handler func(p *sim.Proc, s RecvStream)
+
+// RecvStream is the receive side of one in-flight message: the pull
+// interface handed to its handler.
+type RecvStream interface {
+	// Src reports the sending node.
+	Src() int
+	// Length reports the total message length, available before payload.
+	Length() int
+	// Remaining reports unconsumed message bytes.
+	Remaining() int
+	// Receive extracts up to len(buf) bytes into buf, blocking (over
+	// transports that stream) until they arrive. Returns bytes written:
+	// min(len(buf), Remaining()).
+	Receive(p *sim.Proc, buf []byte) int
+	// ReceiveDiscard consumes and drops n bytes without charging a copy.
+	// Returns bytes actually skipped.
+	ReceiveDiscard(p *sim.Proc, n int) int
+}
+
+// SendStream is an open outgoing message, composed piecewise (gather).
+type SendStream interface {
+	// SendPiece appends buf to the message stream.
+	SendPiece(p *sim.Proc, buf []byte) error
+	// EndMessage closes the stream; every declared byte must be supplied.
+	EndMessage(p *sim.Proc) error
+}
+
+// Transport is one node's attachment to the messaging substrate. It is the
+// only surface upper layers may bind to.
+type Transport interface {
+	// Node reports this endpoint's node ID.
+	Node() int
+	// Host exposes the host model for cost charging by upper layers.
+	Host() *hostmodel.Host
+	// MTU reports the per-packet payload capacity.
+	MTU() int
+	// MaxMessage reports the largest message the transport carries.
+	MaxMessage() int
+	// Register installs a handler under id. Panics on duplicates.
+	Register(id HandlerID, fn Handler)
+	// BeginMessage opens a message of exactly size payload bytes toward
+	// dst. dst == Node() is a loopback self-send: a host memcpy that never
+	// touches the NIC.
+	BeginMessage(p *sim.Proc, dst, size int, h HandlerID) (SendStream, error)
+	// Extract services the network, processing at most maxBytes of payload
+	// (rounded up to a packet boundary); maxBytes <= 0 means no limit.
+	// Transports without receiver flow control (FM 1.x) ignore the budget.
+	// Returns the number of messages completed during the call.
+	Extract(p *sim.Proc, maxBytes int) int
+}
+
+// Send transmits buf as a single-piece message over t: the convenience path
+// for callers that do not need gather.
+func Send(p *sim.Proc, t Transport, dst int, h HandlerID, buf []byte) error {
+	s, err := t.BeginMessage(p, dst, len(buf), h)
+	if err != nil {
+		return err
+	}
+	if err := s.SendPiece(p, buf); err != nil {
+		return err
+	}
+	return s.EndMessage(p)
+}
+
+// SendGather transmits the concatenation of pieces as one message over t —
+// the header+payload pattern of every protocol layer.
+func SendGather(p *sim.Proc, t Transport, dst int, h HandlerID, pieces ...[]byte) error {
+	total := 0
+	for _, pc := range pieces {
+		total += len(pc)
+	}
+	s, err := t.BeginMessage(p, dst, total, h)
+	if err != nil {
+		return err
+	}
+	for _, pc := range pieces {
+		if err := s.SendPiece(p, pc); err != nil {
+			return err
+		}
+	}
+	return s.EndMessage(p)
+}
