@@ -12,6 +12,8 @@
 //	fmbench -ablation       # design-choice ablations
 //	fmbench -collectives    # MPI collective scaling over ranks, sizes, algorithms
 //	fmbench -matrix         # layering efficiency for every upper layer x FM binding
+//	fmbench -topo           # fabric zoo: bisection regimes, contention matrix, scaling
+//	fmbench -topo -toporanks 16  # trim the fabric sweep's largest rank count
 package main
 
 import (
@@ -32,11 +34,13 @@ func main() {
 		ablation    = flag.Bool("ablation", false, "run the design-choice ablations")
 		collectives = flag.Bool("collectives", false, "run the MPI collective scaling sweeps")
 		matrix      = flag.Bool("matrix", false, "run the upper-layer x binding layering-efficiency matrix")
+		topo        = flag.Bool("topo", false, "run the fabric-zoo contention and scaling report")
+		topoRanks   = flag.Int("toporanks", 0, "cap the fabric sweep's rank counts (0 = default sweep)")
 	)
 	flag.Parse()
 	w := os.Stdout
 
-	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives && !*matrix {
+	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives && !*matrix && !*topo {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -86,6 +90,35 @@ func main() {
 	}
 	if *all || *matrix {
 		bench.WriteLayeringMatrix(w, []int{256, 2048, 16384}, 300)
+	}
+	if *all || *topo {
+		cfg := bench.DefaultFabricReportConfig()
+		if *topoRanks > 0 {
+			var ranks []int
+			for _, r := range cfg.Ranks {
+				if r <= *topoRanks {
+					ranks = append(ranks, r)
+				}
+			}
+			if len(ranks) == 0 {
+				ranks = []int{*topoRanks}
+			}
+			cfg.Ranks = ranks
+			// Cap the bisection and matrix platforms too — they dominate
+			// the report's cost. Node counts must stay even for the cut
+			// pattern; floor at 8 so every fabric still multi-stages.
+			cap := *topoRanks &^ 1
+			if cap < 8 {
+				cap = 8
+			}
+			if cfg.BisectNodes > cap {
+				cfg.BisectNodes = cap
+			}
+			if cfg.MatrixNodes > cap {
+				cfg.MatrixNodes = cap
+			}
+		}
+		bench.WriteFabricReport(w, cfg)
 	}
 }
 

@@ -6,7 +6,11 @@
 // (bench_test.go); the system lives under internal/:
 //
 //   - internal/sim        deterministic discrete-event kernel
-//   - internal/netsim     Myrinet fabric model
+//   - internal/netsim     Myrinet fabric model: links, crossbar switches,
+//     and the topology zoo — direct pair, single crossbar, switch line,
+//     2-level fat tree (Clos), and 2D torus with dimension-order routing
+//     over dateline virtual channels, all deadlock-free under link-level
+//     back-pressure
 //   - internal/hostmodel  machine cost profiles (sparc, ppro200)
 //   - internal/lanai      NIC model
 //   - internal/fm1        Fast Messages 1.x (contiguous buffers, staged delivery)
@@ -21,8 +25,10 @@
 //   - internal/shmem      one-sided Put/Get over xport
 //   - internal/garr       Global Arrays over shmem
 //   - internal/bench      figure/table regeneration harness, collective
-//     scaling sweeps, and the cross-product layering-efficiency matrix
-//     ({mpi, sock, shmem, garr} x {fm1, fm2} from one driver per layer)
+//     scaling sweeps, the cross-product layering-efficiency matrix
+//     ({mpi, sock, shmem, garr} x {fm1, fm2} from one driver per layer),
+//     and the contention-aware fabric suite (bisection regimes, the
+//     matrix under cut load, collective scaling across every topology)
 //
 // Every upper layer binds only to xport.Transport, so the paper's Figure 6
 // layering-efficiency argument generalizes to the full cross product:

@@ -95,6 +95,14 @@ func runOneCollective(p *sim.Proc, c *mpifm.Comm, op CollectiveOp, sendbuf, recv
 // iters. size is bytes contributed per rank (rounded down to a multiple of
 // the reduction element width, minimum 4).
 func CollectiveTime(g MPIGen, op CollectiveOp, algo mpifm.CollectiveAlgo, ranks, size, iters int) sim.Time {
+	return collectiveTime(func(k *sim.Kernel) []*mpifm.Comm { return g.attachN(k, ranks) },
+		op, algo, ranks, size, iters)
+}
+
+// collectiveTime is the shared measurement core behind CollectiveTime and
+// CollectiveTimeOn: attach builds the world on a fresh kernel.
+func collectiveTime(attach func(*sim.Kernel) []*mpifm.Comm, op CollectiveOp,
+	algo mpifm.CollectiveAlgo, ranks, size, iters int) sim.Time {
 	if iters < 1 {
 		iters = 1
 	}
@@ -103,7 +111,7 @@ func CollectiveTime(g MPIGen, op CollectiveOp, algo mpifm.CollectiveAlgo, ranks,
 		size = 4
 	}
 	k := sim.NewKernel()
-	comms := g.attachN(k, ranks)
+	comms := attach(k)
 	starts := make([]sim.Time, ranks)
 	ends := make([]sim.Time, ranks)
 	for r := 0; r < ranks; r++ {

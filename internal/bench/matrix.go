@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/cluster"
-	"repro/internal/fm1"
-	"repro/internal/fm2"
 	"repro/internal/garr"
 	"repro/internal/hostmodel"
 	"repro/internal/mpifm"
@@ -59,16 +56,10 @@ func (b Binding) overheads() mpifm.Overheads {
 	return mpifm.PProOverheads()
 }
 
-// attach builds an n-node platform and its transports for this binding.
+// attach builds an n-node platform and its transports for this binding
+// (one switch; attachOn in fabric.go generalizes to the topology zoo).
 func (b Binding) attach(k *sim.Kernel, n int) []xport.Transport {
-	cfg := cluster.DefaultConfig()
-	cfg.Profile = b.profile()
-	cfg.Nodes = n
-	pl := cluster.New(k, cfg)
-	if b == BindFM1 {
-		return xport.AttachFM1(pl, fm1.Config{})
-	}
-	return xport.AttachFM2(pl, fm2.Config{})
+	return b.attachOn(k, n, FabSingle)
 }
 
 // Layer names one upper layer of the matrix.

@@ -3,9 +3,6 @@ package bench
 import (
 	"fmt"
 
-	"repro/internal/cluster"
-	"repro/internal/fm1"
-	"repro/internal/fm2"
 	"repro/internal/mpifm"
 	"repro/internal/sim"
 )
@@ -26,23 +23,10 @@ const (
 func (g MPIGen) attach(k *sim.Kernel) []*mpifm.Comm { return g.attachN(k, 2) }
 
 // attachN builds an n-rank world for this generation (one switch, as the
-// paper's clusters were wired).
+// paper's clusters were wired). attachFabric in fabric.go generalizes to
+// the whole topology zoo.
 func (g MPIGen) attachN(k *sim.Kernel, n int) []*mpifm.Comm {
-	switch g {
-	case MPI1:
-		o := DefaultFM1Options()
-		cfg := cluster.DefaultConfig()
-		cfg.Profile = o.Profile
-		cfg.Nodes = n
-		pl := cluster.New(k, cfg)
-		return mpifm.AttachFM1(pl, fm1.Config{}, mpifm.SparcOverheads())
-	case MPI2, MPI2Unpaced:
-		cfg := cluster.DefaultConfig()
-		cfg.Nodes = n
-		pl := cluster.New(k, cfg)
-		return mpifm.AttachFM2(pl, fm2.Config{}, mpifm.PProOverheads(), g == MPI2)
-	}
-	panic(fmt.Sprintf("bench: unknown MPI generation %d", g))
+	return g.attachFabric(k, n, FabSingle)
 }
 
 // MPIBandwidth measures streaming MPI bandwidth rank0 -> rank1 at one

@@ -6,6 +6,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/flowctl"
 	"repro/internal/hostmodel"
 	"repro/internal/lanai"
 	"repro/internal/netsim"
@@ -20,9 +21,33 @@ const (
 	DirectPair Topology = iota
 	// SingleSwitch hangs all nodes off one crossbar (the usual cluster).
 	SingleSwitch
-	// Line chains switches with two hosts each (multi-hop experiments).
+	// Line chains switches with HostsPerSwitch nodes each (multi-hop
+	// experiments; the worst-case bisection of one trunk link).
 	Line
+	// FatTree is a 2-level Clos: edge switches with HostsPerSwitch nodes
+	// each, Uplinks spine switches, every edge wired to every spine.
+	FatTree
+	// Torus2D is a wraparound mesh of switches with HostsPerSwitch nodes
+	// each, routed dimension-order with dateline virtual channels.
+	Torus2D
 )
+
+// String names the topology for reports.
+func (t Topology) String() string {
+	switch t {
+	case DirectPair:
+		return "pair"
+	case SingleSwitch:
+		return "single"
+	case Line:
+		return "line"
+	case FatTree:
+		return "fattree"
+	case Torus2D:
+		return "torus"
+	}
+	return fmt.Sprintf("topology(%d)", int(t))
+}
 
 // Config describes a Platform.
 type Config struct {
@@ -31,9 +56,27 @@ type Config struct {
 	NIC         lanai.Config
 	Topology    Topology
 	SwitchDelay sim.Time // per-hop routing delay for switched topologies
+
+	// Fabric shape for the multi-switch topologies. Zero values pick
+	// defaults: 2 hosts per switch on a Line (the historical wiring),
+	// 4 on a FatTree or Torus2D.
+	HostsPerSwitch int
+	// Uplinks is the fat-tree spine count. Uplinks == HostsPerSwitch is a
+	// full-bisection Clos; the default of HostsPerSwitch/2 (min 2)
+	// oversubscribes uplinks 2:1 — the regime where trunk contention shows.
+	Uplinks int
+	// TorusRows/TorusCols shape the torus switch grid. When zero, the
+	// switch count is factored as close to square as possible.
+	TorusRows, TorusCols int
 }
 
 // DefaultConfig is a two-node PPro-era cluster on one switch.
+//
+// Structural parameters scale with Nodes at assembly time: New grows the
+// profile's receive ring so per-sender credit windows never collapse below
+// flowctl.MinWindow at large node counts (the ring bounds the sum of all
+// windows aimed at a node, so a fixed-depth ring at n=64 would clamp every
+// window to 128/63 = 2 packets and double credit-return traffic).
 func DefaultConfig() Config {
 	return Config{
 		Nodes:       2,
@@ -53,10 +96,65 @@ type Platform struct {
 	NICs  []*lanai.NIC
 }
 
+// hostsPerSwitch resolves the per-switch host count for cfg.
+func (cfg *Config) hostsPerSwitch() int {
+	if cfg.HostsPerSwitch > 0 {
+		return cfg.HostsPerSwitch
+	}
+	if cfg.Topology == Line {
+		return 2
+	}
+	return 4
+}
+
+// torusShape factors the switch count into a rows x cols grid, as square
+// as possible, honoring explicit TorusRows/TorusCols.
+func torusShape(cfg Config, switches int) (rows, cols int) {
+	rows, cols = cfg.TorusRows, cfg.TorusCols
+	switch {
+	case rows > 0 && cols > 0:
+		if rows*cols != switches {
+			panic(fmt.Sprintf("cluster: torus %dx%d cannot hold %d switches", rows, cols, switches))
+		}
+		return rows, cols
+	case rows > 0:
+		if switches%rows != 0 {
+			panic(fmt.Sprintf("cluster: %d switches do not fill %d torus rows", switches, rows))
+		}
+		return rows, switches / rows
+	case cols > 0:
+		if switches%cols != 0 {
+			panic(fmt.Sprintf("cluster: %d switches do not fill %d torus cols", switches, cols))
+		}
+		return switches / cols, cols
+	}
+	for r := intSqrt(switches); r >= 1; r-- {
+		if switches%r == 0 {
+			return r, switches / r
+		}
+	}
+	return 1, switches
+}
+
+func intSqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
 // New builds and starts a Platform on the given kernel.
 func New(k *sim.Kernel, cfg Config) *Platform {
 	if cfg.Nodes < 2 {
 		panic("cluster: need at least 2 nodes")
+	}
+	// Scale the receive ring with the cluster: the ring bounds the sum of
+	// every peer's credit window, so it must grow with Nodes or flowctl's
+	// safety clamp collapses windows to 1-2 packets and credit returns
+	// degenerate to one control packet per data packet.
+	if need := flowctl.RingSlotsFor(cfg.Nodes, cfg.Profile.CreditWindow); cfg.Profile.RingSlots < need {
+		cfg.Profile.RingSlots = need
 	}
 	var net *netsim.Network
 	switch cfg.Topology {
@@ -68,10 +166,30 @@ func New(k *sim.Kernel, cfg Config) *Platform {
 	case SingleSwitch:
 		net = netsim.NewSingleSwitch(k, cfg.Nodes, cfg.Profile.Link, cfg.SwitchDelay)
 	case Line:
-		if cfg.Nodes%2 != 0 {
-			panic("cluster: Line requires an even node count")
+		h := cfg.hostsPerSwitch()
+		if cfg.Nodes%h != 0 {
+			panic(fmt.Sprintf("cluster: Line requires Nodes divisible by %d hosts per switch", h))
 		}
-		net = netsim.NewLine(k, cfg.Nodes/2, 2, cfg.Profile.Link, cfg.SwitchDelay)
+		net = netsim.NewLine(k, cfg.Nodes/h, h, cfg.Profile.Link, cfg.SwitchDelay)
+	case FatTree:
+		h := cfg.hostsPerSwitch()
+		if cfg.Nodes%h != 0 || cfg.Nodes/h < 2 {
+			panic(fmt.Sprintf("cluster: FatTree requires Nodes divisible by %d hosts per edge, >=2 edges", h))
+		}
+		spines := cfg.Uplinks
+		if spines == 0 {
+			if spines = h / 2; spines < 2 {
+				spines = 2
+			}
+		}
+		net = netsim.NewFatTree(k, cfg.Nodes/h, h, spines, cfg.Profile.Link, cfg.SwitchDelay)
+	case Torus2D:
+		h := cfg.hostsPerSwitch()
+		if cfg.Nodes%h != 0 || cfg.Nodes/h < 2 {
+			panic(fmt.Sprintf("cluster: Torus2D requires Nodes divisible by %d hosts per switch, >=2 switches", h))
+		}
+		rows, cols := torusShape(cfg, cfg.Nodes/h)
+		net = netsim.NewTorus2D(k, rows, cols, h, cfg.Profile.Link, cfg.SwitchDelay)
 	default:
 		panic(fmt.Sprintf("cluster: unknown topology %d", cfg.Topology))
 	}
@@ -88,3 +206,10 @@ func New(k *sim.Kernel, cfg Config) *Platform {
 
 // Nodes reports the node count.
 func (pl *Platform) Nodes() int { return len(pl.Hosts) }
+
+// EffectiveWindow reports the per-destination credit window an endpoint on
+// this platform will run with after flow-control clamping — the number the
+// ring-growth rule in New keeps at or above flowctl.MinWindow.
+func (pl *Platform) EffectiveWindow() int {
+	return flowctl.New(pl.Nodes(), 0, pl.Cfg.Profile.CreditWindow, pl.Cfg.Profile.RingSlots).Window()
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"repro/internal/flowctl"
 	"repro/internal/hostmodel"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -28,6 +29,35 @@ func TestTopologiesDeliver(t *testing.T) {
 		{"direct", func() Config { c := DefaultConfig(); c.Topology = DirectPair; return c }, 2},
 		{"switch", func() Config { c := DefaultConfig(); c.Nodes = 4; return c }, 4},
 		{"line", func() Config { c := DefaultConfig(); c.Topology = Line; c.Nodes = 6; return c }, 6},
+		{"line1host", func() Config {
+			c := DefaultConfig()
+			c.Topology = Line
+			c.Nodes = 8
+			c.HostsPerSwitch = 1
+			return c
+		}, 8},
+		{"fattree", func() Config { c := DefaultConfig(); c.Topology = FatTree; c.Nodes = 16; return c }, 16},
+		{"fattree-fullbisect", func() Config {
+			c := DefaultConfig()
+			c.Topology = FatTree
+			c.Nodes = 16
+			c.Uplinks = 4
+			return c
+		}, 16},
+		{"torus", func() Config { c := DefaultConfig(); c.Topology = Torus2D; c.Nodes = 16; return c }, 16},
+		{"torus-rect", func() Config {
+			c := DefaultConfig()
+			c.Topology = Torus2D
+			c.Nodes = 24
+			c.HostsPerSwitch = 2
+			c.TorusRows = 3
+			return c
+		}, 24},
+		// The scale-out ceiling: 256-node platforms on the multi-stage
+		// fabrics (64 edge/torus switches) must assemble and route.
+		{"fattree-256", func() Config { c := DefaultConfig(); c.Topology = FatTree; c.Nodes = 256; return c }, 256},
+		{"torus-256", func() Config { c := DefaultConfig(); c.Topology = Torus2D; c.Nodes = 256; return c }, 256},
+		{"line-256", func() Config { c := DefaultConfig(); c.Topology = Line; c.Nodes = 256; return c }, 256},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -62,6 +92,10 @@ func TestBadConfigsPanic(t *testing.T) {
 		{Nodes: 1, Profile: hostmodel.PPro200()},
 		{Nodes: 3, Profile: hostmodel.PPro200(), Topology: DirectPair},
 		{Nodes: 5, Profile: hostmodel.PPro200(), Topology: Line},
+		{Nodes: 6, Profile: hostmodel.PPro200(), Topology: FatTree},                // 6 % 4 != 0
+		{Nodes: 4, Profile: hostmodel.PPro200(), Topology: FatTree},                // single edge switch
+		{Nodes: 10, Profile: hostmodel.PPro200(), Topology: Torus2D},               // 10 % 4 != 0
+		{Nodes: 16, Profile: hostmodel.PPro200(), Topology: Torus2D, TorusRows: 3}, // 4 switches, 3 rows
 	}
 	for i, cfg := range cases {
 		func() {
@@ -72,6 +106,33 @@ func TestBadConfigsPanic(t *testing.T) {
 			}()
 			New(sim.NewKernel(), cfg)
 		}()
+	}
+}
+
+// TestRingGrowsWithNodes pins the flow-control satellite at the platform
+// level: at 64 nodes the receive ring must have grown past the profile
+// default so the effective per-sender window holds the MinWindow floor.
+func TestRingGrowsWithNodes(t *testing.T) {
+	base := DefaultConfig()
+	small := New(sim.NewKernel(), base)
+	if small.Cfg.Profile.RingSlots != base.Profile.RingSlots {
+		t.Fatalf("2-node ring resized to %d; growth should only kick in at large n",
+			small.Cfg.Profile.RingSlots)
+	}
+	big := base
+	big.Nodes = 64
+	big.Topology = FatTree
+	pl := New(sim.NewKernel(), big)
+	if pl.Cfg.Profile.RingSlots < flowctl.MinWindow*(64-1) {
+		t.Fatalf("64-node ring is %d slots; windows will collapse below MinWindow",
+			pl.Cfg.Profile.RingSlots)
+	}
+	if w := pl.EffectiveWindow(); w < flowctl.MinWindow {
+		t.Fatalf("effective window %d below floor %d at 64 nodes", w, flowctl.MinWindow)
+	}
+	if pl.NICs[0].RingSlots() != pl.Cfg.Profile.RingSlots {
+		t.Fatalf("NIC ring %d does not match grown profile %d",
+			pl.NICs[0].RingSlots(), pl.Cfg.Profile.RingSlots)
 	}
 }
 

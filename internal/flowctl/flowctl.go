@@ -16,9 +16,38 @@ type Manager struct {
 	CreditsRecvd int64
 }
 
+// MinWindow is the smallest per-destination window at which credit-return
+// traffic stays amortized. NoteFreed batches returns at half-window
+// granularity, so a window below 4 makes the (window+1)/2 threshold hit
+// after every packet or two — one control packet per data packet, a
+// pathological storm at exactly the cluster sizes where the safety clamp
+// in New bites. Platform assembly (cluster.New) grows the receive ring
+// with the node count so the clamp never drops an endpoint below this
+// floor; see RingSlotsFor.
+const MinWindow = 4
+
+// RingSlotsFor reports the receive-ring depth needed so that every one of
+// the n-1 peers of an n-node cluster can hold a window of at least
+// min(window, MinWindow) packets without the ring overflowing.
+func RingSlotsFor(n, window int) int {
+	if window > MinWindow {
+		window = MinWindow
+	}
+	if n <= 1 {
+		return window
+	}
+	return window * (n - 1)
+}
+
 // New creates a Manager for node self in an n-node cluster. window is the
 // per-destination credit window in packets; ringSlots bounds the sum of all
 // windows directed at this node so the ring cannot overflow.
+//
+// When window*(n-1) exceeds ringSlots the window is clamped to
+// ringSlots/(n-1) (floor 1) — ring safety beats throughput. Callers sizing
+// real platforms should grow ringSlots with n (cluster.New does) so the
+// clamped window never falls below MinWindow; Window reports the effective
+// value after clamping.
 func New(n, self, window, ringSlots int) *Manager {
 	if n > 1 && window*(n-1) > ringSlots {
 		window = ringSlots / (n - 1)

@@ -19,6 +19,38 @@ func TestWindowAtLeastOne(t *testing.T) {
 	}
 }
 
+// TestCreditAmortizationAt64 pins the large-n satellite fix: with a ring
+// grown per RingSlotsFor, a 64-node endpoint keeps an effective window of
+// MinWindow, so credit returns stay batched — at most one control packet
+// per two data packets — instead of the one-per-packet storm the ungrown
+// ring produced (window clamped to 128/63 = 2, threshold (2+1)/2 = 1).
+func TestCreditAmortizationAt64(t *testing.T) {
+	const n, configured = 64, 32
+	m := New(n, 0, configured, RingSlotsFor(n, configured))
+	if m.Window() != MinWindow {
+		t.Fatalf("effective window %d, want the MinWindow floor %d", m.Window(), MinWindow)
+	}
+	const freed = 100
+	returns := 0
+	for i := 0; i < freed; i++ {
+		if nc, due := m.NoteFreed(5); due {
+			returns++
+			if nc < 2 {
+				t.Fatalf("credit return of %d packets: amortization lost", nc)
+			}
+		}
+	}
+	if returns > freed/2 {
+		t.Fatalf("%d credit packets for %d data packets: control-traffic storm", returns, freed)
+	}
+	// And the collapse this replaces, for contrast: the old 128-slot ring.
+	old := New(n, 0, configured, 128)
+	if old.Window() >= MinWindow {
+		t.Fatalf("ungrown ring yields window %d; expected collapse below %d (test premise broken)",
+			old.Window(), MinWindow)
+	}
+}
+
 func TestConsumeExhausts(t *testing.T) {
 	m := New(2, 0, 4, 64)
 	for i := 0; i < 4; i++ {

@@ -1,0 +1,208 @@
+// Multi-stage fabrics: the topologies that carried FM-class machines past a
+// single crossbar. Both constructors produce deadlock-free source routes
+// under the existing back-pressure Switch/Link model:
+//
+//   - NewFatTree is a 2-level k-ary Clos. Up*/down* routing (climb to a
+//     spine, descend to the destination edge) gives an acyclic channel
+//     dependency graph, so back-pressure can never cycle.
+//
+//   - NewTorus2D is a wraparound mesh with dimension-order (X then Y)
+//     source routing. A torus ring with back-pressure and a single channel
+//     per link CAN deadlock (the wrap link closes the buffer-dependency
+//     cycle), so each ring direction is built from two parallel physical
+//     links per hop acting as the classic Dally/Seitz dateline virtual
+//     channels: a packet travels on VC0 until it takes the wrap hop, and on
+//     VC1 from the wrap onward. VC0 dependencies ascend the ring, VC1
+//     dependencies ascend again after the single wrap, and transitions only
+//     go VC0 -> VC1 — no cycle. Dimension order makes X->Y dependencies
+//     acyclic across dimensions.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NewFatTree builds a 2-level k-ary Clos fabric: `edges` edge switches with
+// `hosts` hosts each and `spines` spine switches, every edge wired to every
+// spine by one uplink pair. Total nodes = edges*hosts; bisection bandwidth
+// is spines/hosts of full (spines == hosts is a full-bisection fat tree,
+// fewer spines oversubscribes the uplinks — the regime the contention
+// benches price).
+//
+// Edge switch port map: 0..hosts-1 host ports, hosts+s = uplink to spine s.
+// Spine switch port map: port e = downlink to edge e.
+//
+// Uplink selection is deterministic per (src, dst) pair — spine =
+// (2*src+dst) mod spines — so routes are reproducible and all pairs
+// sharing a spine are known statically. The 2x src weighting keeps the
+// spread balanced both for one edge fanning out to every destination
+// (dst cycles through all residues) and for shifted-pair patterns like
+// the bisection cut dst = src+n/2, where a symmetric src+dst hash would
+// put every flow on the same spine (2*src+dst varies with src there
+// because 3 is coprime to the usual power-of-two spine counts).
+func NewFatTree(k *sim.Kernel, edges, hosts, spines int, cfg LinkConfig, routeDelay sim.Time) *Network {
+	if edges < 2 || hosts < 1 || spines < 1 {
+		panic(fmt.Sprintf("netsim: fat tree needs >=2 edges, >=1 host, >=1 spine (got %d/%d/%d)", edges, hosts, spines))
+	}
+	n := &Network{K: k, desc: fmt.Sprintf("fat tree: %d edge switches x %d hosts, %d spines (%d nodes)",
+		edges, hosts, spines, edges*hosts)}
+	edgeSw := make([]*Switch, edges)
+	spineSw := make([]*Switch, spines)
+	for e := range edgeSw {
+		edgeSw[e] = NewSwitch(k, fmt.Sprintf("edge%d", e), hosts+spines, routeDelay, cfg.Slots)
+	}
+	for s := range spineSw {
+		spineSw[s] = NewSwitch(k, fmt.Sprintf("spine%d", s), edges, routeDelay, cfg.Slots)
+	}
+	for e := 0; e < edges; e++ {
+		for l := 0; l < hosts; l++ {
+			id := e*hosts + l
+			ifc := &Iface{ID: id, In: sim.NewChan[*Packet](k, cfg.Slots), net: n}
+			ifc.out = n.addLink(NewLink(k, fmt.Sprintf("n%d->edge%d", id, e), cfg, edgeSw[e].In(l)))
+			edgeSw[e].SetOut(l, n.addLink(NewLink(k, fmt.Sprintf("edge%d->n%d", e, id), cfg, ifc.In)))
+			n.ifaces = append(n.ifaces, ifc)
+		}
+		for s := 0; s < spines; s++ {
+			edgeSw[e].SetOut(hosts+s, n.addLink(NewLink(k, fmt.Sprintf("edge%d->spine%d", e, s), cfg, spineSw[s].In(e))))
+			spineSw[s].SetOut(e, n.addLink(NewLink(k, fmt.Sprintf("spine%d->edge%d", s, e), cfg, edgeSw[e].In(hosts+s))))
+		}
+	}
+	for _, sw := range edgeSw {
+		sw.Start(k)
+	}
+	for _, sw := range spineSw {
+		sw.Start(k)
+	}
+	total := edges * hosts
+	n.routes = make([][][]uint8, total)
+	for a := 0; a < total; a++ {
+		n.routes[a] = make([][]uint8, total)
+		ea := a / hosts
+		for b := 0; b < total; b++ {
+			if a == b {
+				continue
+			}
+			eb, lb := b/hosts, b%hosts
+			if ea == eb {
+				n.routes[a][b] = []uint8{uint8(lb)}
+				continue
+			}
+			spine := (2*a + b) % spines
+			n.routes[a][b] = []uint8{uint8(hosts + spine), uint8(eb), uint8(lb)}
+		}
+	}
+	return n
+}
+
+// Torus direction indices; out port for (dir d, vc v) on a torus switch
+// with h host ports is h + 2*d + v, and the link lands on the same input
+// index at the neighbor (only one neighbor can send traffic travelling in
+// direction d into a given switch, so the index is unique per input).
+const (
+	torusXPlus  = 0 // east: col+1 (mod cols)
+	torusXMinus = 1 // west: col-1
+	torusYPlus  = 2 // south: row+1 (mod rows)
+	torusYMinus = 3 // north: row-1
+)
+
+// NewTorus2D builds a rows x cols torus of switches with `hosts` hosts
+// each. Node IDs are (row*cols+col)*hosts + local. Source routes use
+// minimal dimension-order routing (X first, then Y; ties at exactly half a
+// ring go in the + direction), and every inter-switch hop carries a virtual
+// channel in its port byte per the dateline discipline described in the
+// package comment, so routes are deadlock-free under back-pressure.
+func NewTorus2D(k *sim.Kernel, rows, cols, hosts int, cfg LinkConfig, routeDelay sim.Time) *Network {
+	if rows < 1 || cols < 1 || hosts < 1 || rows*cols < 2 {
+		panic(fmt.Sprintf("netsim: torus needs >=2 switches and >=1 host each (got %dx%d x%d)", rows, cols, hosts))
+	}
+	n := &Network{K: k, desc: fmt.Sprintf("%dx%d torus x %d hosts (%d nodes), DOR + dateline VCs",
+		rows, cols, hosts, rows*cols*hosts)}
+	sw := make([]*Switch, rows*cols)
+	for s := range sw {
+		sw[s] = NewSwitch(k, fmt.Sprintf("t%d.%d", s/cols, s%cols), hosts+8, routeDelay, cfg.Slots)
+	}
+	at := func(r, c int) *Switch { return sw[((r+rows)%rows)*cols+(c+cols)%cols] }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			me := at(r, c)
+			for l := 0; l < hosts; l++ {
+				id := (r*cols+c)*hosts + l
+				ifc := &Iface{ID: id, In: sim.NewChan[*Packet](k, cfg.Slots), net: n}
+				ifc.out = n.addLink(NewLink(k, fmt.Sprintf("n%d->t%d.%d", id, r, c), cfg, me.In(l)))
+				me.SetOut(l, n.addLink(NewLink(k, fmt.Sprintf("t%d.%d->n%d", r, c, id), cfg, ifc.In)))
+				n.ifaces = append(n.ifaces, ifc)
+			}
+			// Inter-switch links: one per (direction, VC). Degenerate
+			// dimensions (size 1) need no links — routes never move there.
+			wire := func(dir int, nb *Switch, name string) {
+				for v := 0; v < 2; v++ {
+					port := hosts + 2*dir + v
+					me.SetOut(port, n.addLink(NewLink(k,
+						fmt.Sprintf("t%d.%d%s.vc%d", r, c, name, v), cfg, nb.In(port))))
+				}
+			}
+			if cols > 1 {
+				wire(torusXPlus, at(r, c+1), "+x")
+				wire(torusXMinus, at(r, c-1), "-x")
+			}
+			if rows > 1 {
+				wire(torusYPlus, at(r+1, c), "+y")
+				wire(torusYMinus, at(r-1, c), "-y")
+			}
+		}
+	}
+	for _, s := range sw {
+		s.Start(k)
+	}
+	total := rows * cols * hosts
+	n.routes = make([][][]uint8, total)
+	for a := 0; a < total; a++ {
+		n.routes[a] = make([][]uint8, total)
+		sa := a / hosts
+		ra, ca := sa/cols, sa%cols
+		for b := 0; b < total; b++ {
+			if a == b {
+				continue
+			}
+			sb, lb := b/hosts, b%hosts
+			rb, cb := sb/cols, sb%cols
+			var route []uint8
+			route = appendRingHops(route, hosts, ca, cb, cols, torusXPlus, torusXMinus)
+			route = appendRingHops(route, hosts, ra, rb, rows, torusYPlus, torusYMinus)
+			route = append(route, uint8(lb))
+			n.routes[a][b] = route
+		}
+	}
+	return n
+}
+
+// appendRingHops emits the port bytes that move a packet from coordinate
+// `from` to `to` around a ring of size d, taking the minimal direction
+// (ties go +). The hop that traverses the ring's wraparound link — and
+// every hop after it — is emitted on VC1; hops before the wrap use VC0.
+// Minimal routes wrap at most once, which is what makes the dateline
+// argument hold.
+func appendRingHops(route []uint8, hosts, from, to, d, dirPlus, dirMinus int) []uint8 {
+	if from == to || d == 1 {
+		return route
+	}
+	fwd := (to - from + d) % d
+	bwd := (from - to + d) % d
+	dir, hops, step := dirPlus, fwd, 1
+	if bwd < fwd {
+		dir, hops, step = dirMinus, bwd, -1
+	}
+	vc := 0
+	x := from
+	for i := 0; i < hops; i++ {
+		wrap := (step == 1 && x == d-1) || (step == -1 && x == 0)
+		if wrap {
+			vc = 1
+		}
+		route = append(route, uint8(hosts+2*dir+vc))
+		x = (x + step + d) % d
+	}
+	return route
+}

@@ -168,6 +168,8 @@ func (s *Switch) Start(k *sim.Kernel) {
 					panic(fmt.Sprintf("netsim: packet from %d to %d exhausted its route at switch %s",
 						pkt.Src, pkt.Dst, s.name))
 				}
+				// Route slices are shared across packets (Network.Route);
+				// consume by reslicing only — never write into the array.
 				port := pkt.Route[0]
 				pkt.Route = pkt.Route[1:]
 				if int(port) >= len(s.out) || s.out[port] == nil {

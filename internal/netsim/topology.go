@@ -18,7 +18,20 @@ type Iface struct {
 }
 
 // Send injects a packet toward pkt.Dst, attaching the source route.
+//
+// Self-addressed packets are rejected at injection: Route(i, i) does not
+// exist, so such a packet would enter the fabric with an empty route and be
+// misdelivered (DirectPair) or panic at the first switch with a misleading
+// "route exhausted" diagnostic. Loopback traffic must stay in the host
+// (the transports model self-sends as host memcpys that never touch the
+// NIC); a self-addressed packet reaching the wire is a protocol-layer bug.
 func (ifc *Iface) Send(p *sim.Proc, pkt *Packet) {
+	if pkt.Dst == ifc.ID {
+		panic(fmt.Sprintf("netsim: node %d injected a self-addressed packet: loopback must stay in the host, never enter the fabric", ifc.ID))
+	}
+	if pkt.Dst < 0 || pkt.Dst >= ifc.net.Nodes() {
+		panic(fmt.Sprintf("netsim: node %d injected a packet for nonexistent node %d (fabric has %d nodes)", ifc.ID, pkt.Dst, ifc.net.Nodes()))
+	}
 	pkt.Src = ifc.ID
 	pkt.Route = ifc.net.Route(ifc.ID, pkt.Dst)
 	pkt.Inject = p.Now()
@@ -45,10 +58,14 @@ func (n *Network) Nodes() int { return len(n.ifaces) }
 // Iface returns node i's interface.
 func (n *Network) Iface(i int) *Iface { return n.ifaces[i] }
 
-// Route returns a copy of the source route from src to dst.
+// Route returns the source route from src to dst. Routes are immutable
+// after construction and therefore shared, not copied: switches consume
+// route bytes by reslicing the packet's own Route field, never by writing
+// into the backing array, so one slice can back every packet of a flow.
+// (Copying here cost one allocation per injected packet — pure churn on the
+// hottest fabric path.)
 func (n *Network) Route(src, dst int) []uint8 {
-	r := n.routes[src][dst]
-	return append([]uint8(nil), r...)
+	return n.routes[src][dst]
 }
 
 // Links returns all links for stats inspection.
