@@ -3,7 +3,7 @@
 // figure benchmark regenerates its figure per iteration and reports the
 // headline values as custom metrics; run `cmd/fmbench -all` for the full
 // rendered tables.
-package repro
+package fmnet
 
 import (
 	"testing"

@@ -14,6 +14,7 @@
 //	fmbench -matrix         # layering efficiency for every upper layer x FM binding
 //	fmbench -topo           # fabric zoo: bisection regimes, contention matrix, scaling
 //	fmbench -topo -toporanks 16  # trim the fabric sweep's largest rank count
+//	fmbench -mixed          # co-residency: MPI + sockets + GA sharing each node's endpoint
 package main
 
 import (
@@ -36,11 +37,12 @@ func main() {
 		matrix      = flag.Bool("matrix", false, "run the upper-layer x binding layering-efficiency matrix")
 		topo        = flag.Bool("topo", false, "run the fabric-zoo contention and scaling report")
 		topoRanks   = flag.Int("toporanks", 0, "cap the fabric sweep's rank counts (0 = default sweep)")
+		mixed       = flag.Bool("mixed", false, "run the mixed-workload co-residency suite (shared endpoints)")
 	)
 	flag.Parse()
 	w := os.Stdout
 
-	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives && !*matrix && !*topo {
+	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives && !*matrix && !*topo && !*mixed {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -119,6 +121,12 @@ func main() {
 			}
 		}
 		bench.WriteFabricReport(w, cfg)
+	}
+	if *all || *mixed {
+		if *all {
+			fmt.Fprintln(w)
+		}
+		bench.WriteMixedReport(w, bench.BindFM2, bench.DefaultMixedConfig())
 	}
 }
 

@@ -3,7 +3,7 @@
 // the same seeded simulations twice in-process — once for an fm2 bench
 // configuration, once for a collectives configuration — and requiring
 // identical stats and identical rendered figure output.
-package repro
+package fmnet
 
 import (
 	"bytes"

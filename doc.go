@@ -1,9 +1,25 @@
-// Package repro is a from-scratch Go reproduction of "Efficient Layering
+// Package fmnet is a from-scratch Go reproduction of "Efficient Layering
 // for High Speed Communication: Fast Messages 2.x" (Lauria, Pakin, Chien —
-// HPDC-7, 1998).
+// HPDC-7, 1998), exposed through a public session façade.
 //
-// The root package holds only the benchmark harness entry points
-// (bench_test.go); the system lives under internal/:
+// The root package is the only public surface: fmnet.New assembles a
+// simulated cluster with ONE shared Fast Messages endpoint per node and
+// attaches the requested co-resident services —
+//
+//	s, err := fmnet.New(
+//	    fmnet.Nodes(64),
+//	    fmnet.Topology(fmnet.FatTree),
+//	    fmnet.FM2(),
+//	    fmnet.WithMPI(),
+//	    fmnet.WithSockets(),
+//	    fmnet.WithShmem(),
+//	)
+//
+// — which is the paper's defining interface claim made structural: the
+// messaging layer is a shared substrate multiplexed by handler dispatch,
+// not a private NIC binding per library (§4.2).
+//
+// The system lives under internal/:
 //
 //   - internal/sim        deterministic discrete-event kernel
 //   - internal/netsim     Myrinet fabric model: links, crossbar switches,
@@ -17,32 +33,39 @@
 //   - internal/fm2        Fast Messages 2.x (the paper's contribution:
 //     streaming gather/scatter, handler multithreading, paced extraction,
 //     host-memcpy loopback self-sends)
-//   - internal/xport      the unified streaming transport contract: one
-//     Transport interface with the FM 2.x shape, implemented natively by
-//     fm2 and via a staging-copy adapter by fm1
-//   - internal/mpifm      MPI (point-to-point + collectives) over xport
-//   - internal/sockfm     Sockets-FM over xport
-//   - internal/shmem      one-sided Put/Get over xport
-//   - internal/garr       Global Arrays over shmem
-//   - internal/bench      figure/table regeneration harness, collective
-//     scaling sweeps, the cross-product layering-efficiency matrix
-//     ({mpi, sock, shmem, garr} x {fm1, fm2} from one driver per layer),
-//     and the contention-aware fabric suite (bisection regimes, the
-//     matrix under cut load, collective scaling across every topology)
+//   - internal/xport      the unified streaming transport contract — one
+//     Transport interface implemented natively by fm2 and via a
+//     staging-copy adapter by fm1 — plus the shared-endpoint layer:
+//     Endpoint (one Transport per node) and HandlerSpace (one namespaced
+//     service window per client, with budget-fair Extract)
+//   - internal/mpifm      MPI (point-to-point + collectives), bound to a HandlerSpace
+//   - internal/sockfm     Sockets-FM, bound to a HandlerSpace
+//   - internal/shmem      one-sided Put/Get, bound to a HandlerSpace
+//   - internal/garr       Global Arrays (its own service over a private shmem node)
+//   - internal/cluster    assembles hosts + NICs + fabric into a Platform
+//   - internal/bench      figure/table regeneration, collective scaling,
+//     the layering-efficiency matrix, the contention-aware fabric suite,
+//     and the mixed-workload co-residency suite (fmbench -mixed)
 //
-// Every upper layer binds only to xport.Transport, so the paper's Figure 6
-// layering-efficiency argument generalizes to the full cross product:
+// Every upper layer binds to a HandlerSpace — a service's window onto its
+// node's shared endpoint — so co-resident services cannot collide on
+// handler IDs, share one credit window per peer, and split the receive
+// budget fairly:
 //
-//	mpifm   sockfm   shmem   garr(-> shmem)
-//	   \       |       |       /
-//	    +------+---+---+------+
-//	               |
-//	        xport.Transport
-//	          /          \
-//	   OverFM1 adapter   OverFM2 (native)
-//	   (staging copies)   (zero-copy streaming)
-//	         |                  |
-//	     internal/fm1      internal/fm2
+//	 mpifm   sockfm   shmem   garr(-> own shmem)
+//	    |       |       |       |
+//	HandlerSpace  (one namespaced slab per service)
+//	    \       |       |       /
+//	     +------+---+---+------+
+//	                |
+//	         xport.Endpoint          (ONE per node)
+//	                |
+//	         xport.Transport
+//	           /          \
+//	    OverFM1 adapter   OverFM2 (native)
+//	    (staging copies)   (zero-copy streaming)
+//	          |                  |
+//	      internal/fm1      internal/fm2
 //
 // See README.md.
-package repro
+package fmnet

@@ -1,0 +1,136 @@
+// Mixed-workload walkthrough: the paper's shared-substrate claim (§4.2) as
+// a program. One fmnet Session assembles a fat-tree cluster with ONE
+// shared FM 2.x endpoint per node; MPI collectives, a socket stream, and
+// Global Arrays puts then run SIMULTANEOUSLY on that endpoint — one
+// transport, one handler table, one credit window per peer — and the
+// per-service accounting shows how the fabric was shared.
+//
+//	go run ./examples/mixed
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	fmnet "repro"
+)
+
+func main() {
+	const nodes = 8
+	s, err := fmnet.New(
+		fmnet.Nodes(nodes),
+		fmnet.Topology(fmnet.FatTree),
+		fmnet.FM2(),
+		fmnet.WithMPI(),
+		fmnet.WithSockets(),
+		fmnet.WithGlobalArray(nodes*64),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Workload 1 — MPI: every rank allreduces a vector, four rounds. The
+	// collective's sends and receives share each node's endpoint with the
+	// socket and GA traffic below.
+	mpiDone := 0
+	s.SpawnRanks("allreduce", func(rank int, p *fmnet.Proc) {
+		in := make([]byte, 1024)
+		out := make([]byte, 1024)
+		for round := 0; round < 4; round++ {
+			if err := s.MPI(rank).Allreduce(p, in, out, fmnet.OpSumU32); err != nil {
+				log.Fatal(err)
+			}
+		}
+		mpiDone++
+		if mpiDone == nodes {
+			fmt.Printf("[%8s] MPI: %d ranks finished 4 allreduce rounds\n", p.Now(), nodes)
+		}
+	})
+
+	// Workload 2 — sockets: node 0 streams 100 KB to node 7 through the
+	// Berkeley stream personality, co-resident with the collectives.
+	s.Spawn("sockServer", func(p *fmnet.Proc) {
+		l, err := s.Sockets(nodes - 1).Listen(80)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, 8192)
+		total := 0
+		for {
+			n, err := conn.Read(p, buf)
+			total += n
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("[%8s] sockets: node %d received %d KB (direct %dB, pooled %dB)\n",
+			p.Now(), nodes-1, total/1024, conn.DirectBytes, conn.PooledBytes)
+	})
+	s.Spawn("sockClient", func(p *fmnet.Proc) {
+		conn, err := s.Sockets(0).Dial(p, nodes-1, 80)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seg := make([]byte, 4096)
+		for i := 0; i < 25; i++ {
+			if _, err := conn.Write(p, seg); err != nil {
+				log.Fatal(err)
+			}
+		}
+		conn.Close(p)
+	})
+
+	// Workload 3 — Global Arrays: every rank accumulates into its right
+	// neighbor's block; one-sided puts ride the same endpoints as its own
+	// accounted service.
+	gaDone := 0
+	s.SpawnRanks("ga", func(rank int, p *fmnet.Proc) {
+		vals := make([]float64, 64)
+		for i := range vals {
+			vals[i] = float64(rank)
+		}
+		dst := (rank + 1) % nodes
+		lo, _ := s.Array(dst).LocalBounds()
+		for i := 0; i < 10; i++ {
+			if err := s.Array(rank).Put(p, lo, vals); err != nil {
+				log.Fatal(err)
+			}
+		}
+		gaDone++
+		if gaDone == nodes {
+			fmt.Printf("[%8s] GA: %d ranks finished 10 puts each\n", p.Now(), nodes)
+		}
+		for gaDone < nodes { // serve incoming puts until all origins finish
+			s.Array(rank).Progress(p)
+			p.Delay(2 * fmnet.Microsecond)
+		}
+	})
+
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The shared endpoints kept per-service books the whole time.
+	fmt.Printf("\nPer-service bytes consumed across all %d shared endpoints:\n", nodes)
+	var total int64
+	sums := map[string]int64{}
+	for _, svc := range []string{"mpi", "sockets", "garr"} {
+		for node := 0; node < nodes; node++ {
+			sums[svc] += s.Endpoint(node).ServiceStats(svc).Bytes
+		}
+		total += sums[svc]
+	}
+	for _, svc := range []string{"mpi", "sockets", "garr"} {
+		fmt.Printf("  %-8s %8d bytes  (%4.1f%% share)\n",
+			svc, sums[svc], 100*float64(sums[svc])/float64(total))
+	}
+	fmt.Printf("done at virtual time %s\n", s.Now())
+}

@@ -1,6 +1,7 @@
-// Quickstart: the FM 2.x API end to end on a two-node simulated Myrinet
-// cluster — gather on the send side, a header-then-payload handler on the
-// receive side, and paced extraction.
+// Quickstart: the public fmnet session façade end to end — one shared
+// endpoint per node, a custom streaming service registered on it, gather
+// on the send side, a header-then-payload handler on the receive side, and
+// paced extraction.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,64 +11,71 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cluster"
-	"repro/internal/fm2"
-	"repro/internal/sim"
+	fmnet "repro"
 )
 
-const echoHandler fm2.HandlerID = 10
+const echoHandler fmnet.HandlerID = 10
 
 func main() {
-	// A kernel is one deterministic simulation; the cluster builder wires
-	// hosts, NICs, and the Myrinet fabric per the ppro200 machine profile.
-	k := sim.NewKernel()
-	pl := cluster.New(k, cluster.DefaultConfig())
-	eps := fm2.Attach(pl, fm2.Config{})
+	// A Session is one deterministic simulation: hosts, NICs, the Myrinet
+	// fabric, and ONE shared FM 2.x endpoint per node. Services attach to
+	// that endpoint; here a single custom service named "echo".
+	s, err := fmnet.New(
+		fmnet.Nodes(2),
+		fmnet.FM2(),
+		fmnet.WithService("echo"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// The receiver registers a handler. FM runs it on its own logical
-	// thread as soon as the message's first packet arrives: read the
-	// 8-byte header, pick a buffer, then scatter the payload into it.
+	// The receiver registers a handler in its service's handler space (IDs
+	// are namespaced per service, so co-resident services cannot collide).
+	// FM runs it on its own logical thread as soon as the message's first
+	// packet arrives: read the 8-byte header, pick a buffer, then scatter
+	// the payload into it.
 	var received int
-	eps[1].Register(echoHandler, func(p *sim.Proc, s *fm2.RecvStream) {
+	s.Space(1, "echo").Register(echoHandler, func(p *fmnet.Proc, str fmnet.RecvStream) {
 		var hdr [8]byte
-		s.Receive(p, hdr[:])
+		str.Receive(p, hdr[:])
 		id := binary.LittleEndian.Uint32(hdr[0:])
 		n := int(binary.LittleEndian.Uint32(hdr[4:]))
 		payload := make([]byte, n)
-		s.Receive(p, payload)
+		str.Receive(p, payload)
 		received++
 		fmt.Printf("[%8s] node1: message %d, %d payload bytes (first=%q)\n",
 			p.Now(), id, n, payload[:4])
 	})
 
 	const msgs = 3
-	k.Spawn("node0", func(p *sim.Proc) {
+	s.Spawn("node0", func(p *fmnet.Proc) {
 		for i := 0; i < msgs; i++ {
 			payload := []byte(fmt.Sprintf("ping %d payload", i))
 			var hdr [8]byte
 			binary.LittleEndian.PutUint32(hdr[0:], uint32(i))
 			binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
 			// Gather: header and payload are separate pieces; FM packetizes.
-			if err := eps[0].SendGather(p, 1, echoHandler, hdr[:], payload); err != nil {
+			if err := fmnet.SendGather(p, s.Space(0, "echo"), 1, echoHandler, hdr[:], payload); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("[%8s] node0: sent message %d\n", p.Now(), i)
 		}
 	})
 
-	k.Spawn("node1", func(p *sim.Proc) {
+	s.Spawn("node1", func(p *fmnet.Proc) {
 		for received < msgs {
-			// Receiver flow control: at most ~1 KB presented per call.
-			eps[1].Extract(p, 1024)
+			// Receiver flow control: at most ~1 KB presented per call, and
+			// the budget is charged fairly if other services co-reside.
+			s.Space(1, "echo").Extract(p, 1024)
 			if received < msgs {
-				p.Delay(sim.Microsecond)
+				p.Delay(fmnet.Microsecond)
 			}
 		}
 	})
 
-	if err := k.Run(); err != nil {
+	if err := s.Run(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("done at virtual time %s; stats: sent=%+v recvd=%+v\n",
-		k.Now(), eps[0].Stats().MsgsSent, eps[1].Stats().MsgsRecvd)
+	fmt.Printf("done at virtual time %s; echo service on node1 consumed %d bytes\n",
+		s.Now(), s.Endpoint(1).ServiceStats("echo").Bytes)
 }

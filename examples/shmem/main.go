@@ -1,6 +1,8 @@
-// Shmem / Global Arrays example: one-sided Put/Get over FM 2.x and a
-// block-distributed global array running a Jacobi smoothing sweep — the
-// global-address-space interfaces the paper reports on FM 2.x (§4.2).
+// Shmem / Global Arrays example: one-sided Put/Get and a block-distributed
+// global array running a Jacobi smoothing sweep — the global-address-space
+// interfaces the paper reports on FM 2.x (§4.2) — co-resident as two
+// services on each node's shared endpoint, assembled through the public
+// fmnet session façade.
 //
 //	go run ./examples/shmem
 package main
@@ -9,57 +11,47 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cluster"
-	"repro/internal/fm2"
-	"repro/internal/garr"
-	"repro/internal/shmem"
-	"repro/internal/sim"
-	"repro/internal/xport"
+	fmnet "repro"
 )
 
 const (
 	ranks   = 4
 	size    = 64 // global array elements
 	sweeps  = 4
-	gaID    = 1
 	scratch = 2
 )
 
 func main() {
-	k := sim.NewKernel()
-	cfg := cluster.DefaultConfig()
-	cfg.Nodes = ranks
-	pl := cluster.New(k, cfg)
-	ts := xport.AttachFM2(pl, fm2.Config{})
-
-	nodes := make([]*shmem.Node, ranks)
-	arrays := make([]*garr.Array, ranks)
-	for i := range nodes {
-		nodes[i] = shmem.New(ts[i])
-		a, err := garr.New(nodes[i], gaID, size, ranks)
-		if err != nil {
-			log.Fatal(err)
-		}
-		arrays[i] = a
-		nodes[i].Register(scratch, make([]byte, 64))
+	s, err := fmnet.New(
+		fmnet.Nodes(ranks),
+		fmnet.FM2(),
+		fmnet.WithShmem(),
+		fmnet.WithGlobalArray(size),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		s.Shmem(r).Register(scratch, make([]byte, 64))
 	}
 
 	done := false
-	// Ranks 1..3 are passive targets: they service one-sided traffic.
+	// Ranks 1..3 are passive targets: they service one-sided traffic for
+	// both services (any extraction drains the whole shared endpoint).
 	for r := 1; r < ranks; r++ {
 		r := r
-		k.Spawn(fmt.Sprintf("serve%d", r), func(p *sim.Proc) {
+		s.Spawn(fmt.Sprintf("serve%d", r), func(p *fmnet.Proc) {
 			for !done {
-				arrays[r].Progress(p)
-				p.Delay(2 * sim.Microsecond)
+				s.Array(r).Progress(p)
+				p.Delay(2 * fmnet.Microsecond)
 			}
 		})
 	}
 
 	// Rank 0 initializes the array with a step function via global Puts and
 	// drives Jacobi smoothing sweeps over it.
-	k.Spawn("rank0", func(p *sim.Proc) {
-		a := arrays[0]
+	s.Spawn("rank0", func(p *fmnet.Proc) {
+		a := s.Array(0)
 		init := make([]float64, size)
 		for i := range init {
 			if i >= size/4 && i < 3*size/4 {
@@ -71,7 +63,7 @@ func main() {
 		}
 		cur := make([]float64, size)
 		next := make([]float64, size)
-		for s := 0; s < sweeps; s++ {
+		for sw := 0; sw < sweeps; sw++ {
 			if err := a.Get(p, 0, cur); err != nil {
 				log.Fatal(err)
 			}
@@ -86,21 +78,24 @@ func main() {
 			for _, v := range next {
 				sum += v
 			}
-			fmt.Printf("[%9s] sweep %d: smoothed, mass %.1f\n", p.Now(), s+1, sum)
+			fmt.Printf("[%9s] sweep %d: smoothed, mass %.1f\n", p.Now(), sw+1, sum)
 		}
-		// A direct one-sided write into a scratch region on rank 1.
-		if err := nodes[0].Put(p, 1, scratch, 0, []byte("one-sided!")); err != nil {
+		// A direct one-sided write into a scratch region on rank 1, through
+		// the user-level shmem service (distinct from the GA service).
+		if err := s.Shmem(0).Put(p, 1, scratch, 0, []byte("one-sided!")); err != nil {
 			log.Fatal(err)
 		}
-		nodes[0].Quiet(p)
+		s.Shmem(0).Quiet(p)
 		done = true
 	})
 
-	if err := k.Run(); err != nil {
+	if err := s.Run(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("rank1 scratch region now holds %q\n", nodes[1].Region(scratch)[:10])
-	lo, hi := arrays[1].LocalBounds()
+	fmt.Printf("rank1 scratch region now holds %q\n", s.Shmem(1).Region(scratch)[:10])
+	lo, hi := s.Array(1).LocalBounds()
 	fmt.Printf("rank1 owns global indices [%d,%d); first values %.2f %.2f\n",
-		lo, hi, arrays[1].Local()[0], arrays[1].Local()[1])
+		lo, hi, s.Array(1).Local()[0], s.Array(1).Local()[1])
+	fmt.Printf("per-service bytes on rank1's endpoint: shmem %d, garr %d\n",
+		s.Endpoint(1).ServiceStats("shmem").Bytes, s.Endpoint(1).ServiceStats("garr").Bytes)
 }

@@ -1,6 +1,7 @@
 // Sockets-FM example: a tiny request/response service over stream sockets
 // layered on FM 2.x — the Berkeley sockets personality the paper layers on
-// FM (§3.2, §4.2).
+// FM (§3.2, §4.2) — attached to each node's shared endpoint through the
+// public fmnet session façade.
 //
 //	go run ./examples/sockets
 package main
@@ -11,27 +12,18 @@ import (
 	"log"
 	"strings"
 
-	"repro/internal/cluster"
-	"repro/internal/fm2"
-	"repro/internal/sim"
-	"repro/internal/sockfm"
-	"repro/internal/xport"
+	fmnet "repro"
 )
 
 func main() {
-	k := sim.NewKernel()
-	cfg := cluster.DefaultConfig()
-	cfg.Nodes = 3
-	pl := cluster.New(k, cfg)
-	ts := xport.AttachFM2(pl, fm2.Config{})
-	stacks := make([]*sockfm.Stack, 3)
-	for i := range stacks {
-		stacks[i] = sockfm.NewStack(ts[i])
+	s, err := fmnet.New(fmnet.Nodes(3), fmnet.FM2(), fmnet.WithSockets())
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	const port = 7 // echo-with-a-twist
-	k.Spawn("server", func(p *sim.Proc) {
-		l, err := stacks[0].Listen(port)
+	s.Spawn("server", func(p *fmnet.Proc) {
+		l, err := s.Sockets(0).Listen(port)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,9 +54,9 @@ func main() {
 
 	for c := 1; c <= 2; c++ {
 		c := c
-		k.Spawn(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
-			p.Delay(sim.Time(c*20) * sim.Microsecond)
-			conn, err := stacks[c].Dial(p, 0, port)
+		s.Spawn(fmt.Sprintf("client%d", c), func(p *fmnet.Proc) {
+			p.Delay(fmnet.Time(c*20) * fmnet.Microsecond)
+			conn, err := s.Sockets(c).Dial(p, 0, port)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -86,7 +78,7 @@ func main() {
 		})
 	}
 
-	if err := k.Run(); err != nil {
+	if err := s.Run(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,363 @@
+// Session façade: the public entry point to the reproduction. A Session
+// assembles a simulated cluster with ONE shared Fast Messages endpoint per
+// node and attaches the requested services — MPI, sockets, shmem, global
+// arrays, or custom handler spaces — to every node symmetrically, in the
+// paper's §4.2 shared-substrate style:
+//
+//	s, err := fmnet.New(
+//	    fmnet.Nodes(64),
+//	    fmnet.Topology(fmnet.FatTree),
+//	    fmnet.FM2(),
+//	    fmnet.WithMPI(),
+//	    fmnet.WithSockets(),
+//	    fmnet.WithShmem(),
+//	)
+//	s.SpawnRanks("work", func(rank int, p *fmnet.Proc) {
+//	    s.MPI(rank).Barrier(p)
+//	    ...
+//	})
+//	err = s.Run()
+//
+// Co-resident services share the node's transport, handler table, and
+// credit windows; handler IDs are namespaced per service so clients cannot
+// collide, and budgeted extraction is charged fairly across them.
+package fmnet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/garr"
+	"repro/internal/hostmodel"
+	"repro/internal/mpifm"
+	"repro/internal/shmem"
+	"repro/internal/sim"
+	"repro/internal/sockfm"
+	"repro/internal/xport"
+)
+
+// Re-exported types, so public clients program entirely against fmnet
+// without reaching into internal packages.
+type (
+	// Proc is a simulated process: every callback runs on one.
+	Proc = sim.Proc
+	// Time is a virtual-time instant or duration in nanoseconds.
+	Time = sim.Time
+
+	// Endpoint is a node's shared fabric attachment.
+	Endpoint = xport.Endpoint
+	// HandlerSpace is one service's namespaced window onto an Endpoint.
+	HandlerSpace = xport.HandlerSpace
+	// HandlerID names a service-local message handler.
+	HandlerID = xport.HandlerID
+	// Handler processes one incoming message on a logical thread.
+	Handler = xport.Handler
+	// RecvStream is the pull interface a handler reads its message through.
+	RecvStream = xport.RecvStream
+	// SendStream is an open outgoing message, composed piecewise.
+	SendStream = xport.SendStream
+
+	// Comm is one rank's MPI communicator.
+	Comm = mpifm.Comm
+	// ReduceOp is an MPI reduction operator.
+	ReduceOp = mpifm.ReduceOp
+	// Stack is one node's socket layer.
+	Stack = sockfm.Stack
+	// Conn is one end of an established socket stream.
+	Conn = sockfm.Conn
+	// Listener accepts inbound socket connections on a port.
+	Listener = sockfm.Listener
+	// ShmemNode is one rank's one-sided Put/Get attachment.
+	ShmemNode = shmem.Node
+	// Array is one rank's handle onto a block-distributed global array.
+	Array = garr.Array
+)
+
+// MPI receive wildcards, re-exported.
+const (
+	AnySource = mpifm.AnySource
+	AnyTag    = mpifm.AnyTag
+)
+
+// Virtual-time units, re-exported.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Reduction operators, re-exported.
+var (
+	OpSumU32 = mpifm.OpSumU32
+	OpMaxU32 = mpifm.OpMaxU32
+	OpXor    = mpifm.OpXor
+	OpSumF64 = mpifm.OpSumF64
+)
+
+// Send transmits buf as a single-piece message through a service space.
+func Send(p *Proc, sp *HandlerSpace, dst int, h HandlerID, buf []byte) error {
+	return xport.Send(p, sp, dst, h, buf)
+}
+
+// SendGather transmits the concatenation of pieces as one message — the
+// header+payload pattern of every protocol layer.
+func SendGather(p *Proc, sp *HandlerSpace, dst int, h HandlerID, pieces ...[]byte) error {
+	return xport.SendGather(p, sp, dst, h, pieces...)
+}
+
+// Topo selects how the simulated fabric wires nodes together.
+type Topo int
+
+const (
+	// SingleSwitch hangs all nodes off one crossbar (the paper's cluster).
+	SingleSwitch Topo = iota
+	// Pair wires exactly two nodes back to back.
+	Pair
+	// Line chains switches: the one-trunk worst-case bisection.
+	Line
+	// FatTree is a 2-level Clos with oversubscribed uplinks.
+	FatTree
+	// Torus is a 2D wraparound switch mesh with dateline virtual channels.
+	Torus
+)
+
+func (t Topo) cluster() (cluster.Topology, error) {
+	switch t {
+	case SingleSwitch:
+		return cluster.SingleSwitch, nil
+	case Pair:
+		return cluster.DirectPair, nil
+	case Line:
+		return cluster.Line, nil
+	case FatTree:
+		return cluster.FatTree, nil
+	case Torus:
+		return cluster.Torus2D, nil
+	}
+	return 0, fmt.Errorf("fmnet: unknown topology %d", int(t))
+}
+
+// config collects the functional options.
+type config struct {
+	nodes   int
+	topo    Topo
+	gen     xport.Gen
+	mpi     bool
+	mpiOpt  mpifm.Options
+	sockets bool
+	shm     bool
+	gaSize  int
+	custom  []string
+}
+
+// Option configures a Session under construction.
+type Option func(*config)
+
+// Nodes sets the cluster size (default 2).
+func Nodes(n int) Option { return func(c *config) { c.nodes = n } }
+
+// Topology selects the fabric (default SingleSwitch).
+func Topology(t Topo) Option { return func(c *config) { c.topo = t } }
+
+// FM1 backs the shared endpoints with Fast Messages 1.x through the
+// staging-copy adapter, on the Sparc-era machine profile.
+func FM1() Option { return func(c *config) { c.gen = xport.GenFM1 } }
+
+// FM2 backs the shared endpoints with native Fast Messages 2.x on the
+// PPro-era machine profile (the default).
+func FM2() Option { return func(c *config) { c.gen = xport.GenFM2 } }
+
+// WithMPI attaches the MPI service (point-to-point and collectives) to
+// every node's endpoint.
+func WithMPI() Option { return func(c *config) { c.mpi = true } }
+
+// WithMPIOptions is WithMPI with explicit device options (ablations,
+// unexpected-pool cap).
+func WithMPIOptions(opt mpifm.Options) Option {
+	return func(c *config) { c.mpi, c.mpiOpt = true, opt }
+}
+
+// WithSockets attaches the Berkeley-style stream socket service.
+func WithSockets() Option { return func(c *config) { c.sockets = true } }
+
+// WithShmem attaches the one-sided Put/Get service; register symmetric
+// regions on every node before Run.
+func WithShmem() Option { return func(c *config) { c.shm = true } }
+
+// WithGlobalArray attaches the Global Arrays service with one
+// block-distributed float64 array of the given global element count.
+func WithGlobalArray(size int) Option { return func(c *config) { c.gaSize = size } }
+
+// WithService attaches a custom named service: every node gets a
+// HandlerSpace (via Session.Space) to register raw FM-style handlers on.
+func WithService(name string) Option {
+	return func(c *config) { c.custom = append(c.custom, name) }
+}
+
+// Session is an assembled simulation: a cluster, one shared endpoint per
+// node, and the co-resident services attached to each. All methods are for
+// use before Run (setup) or from spawned Procs (steady state).
+type Session struct {
+	k      *sim.Kernel
+	eps    []*xport.Endpoint
+	mpi    []*mpifm.Comm
+	socks  []*sockfm.Stack
+	shms   []*shmem.Node
+	arrays []*garr.Array
+	custom map[string][]*xport.HandlerSpace
+}
+
+// New assembles a Session. Services are registered on every node in a
+// fixed canonical order (MPI, sockets, shmem, global array, then custom
+// services in option order), so handler-ID slabs agree across nodes.
+func New(opts ...Option) (*Session, error) {
+	cfg := config{nodes: 2, topo: SingleSwitch, gen: xport.GenFM2}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if !cfg.mpi && !cfg.sockets && !cfg.shm && cfg.gaSize == 0 && len(cfg.custom) == 0 {
+		return nil, errors.New("fmnet: no services requested; add WithMPI/WithSockets/WithShmem/WithGlobalArray/WithService")
+	}
+	seen := map[string]bool{mpifm.Service: true, sockfm.Service: true, shmem.Service: true, garr.Service: true}
+	for _, name := range cfg.custom {
+		if seen[name] {
+			return nil, fmt.Errorf("fmnet: duplicate or reserved service name %q", name)
+		}
+		seen[name] = true
+	}
+	topo, err := cfg.topo.cluster()
+	if err != nil {
+		return nil, err
+	}
+
+	k := sim.NewKernel()
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = cfg.nodes
+	ccfg.Topology = topo
+	ccfg.AutoShape()
+	if cfg.gen == xport.GenFM1 {
+		ccfg.Profile = hostmodel.Sparc()
+	}
+	pl, err := cluster.TryNew(k, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		k:      k,
+		eps:    xport.AttachEndpoints(pl, xport.EndpointConfig{Gen: cfg.gen}),
+		custom: make(map[string][]*xport.HandlerSpace),
+	}
+
+	spaces := func(service string) []*xport.HandlerSpace {
+		sp := make([]*xport.HandlerSpace, len(s.eps))
+		for i, ep := range s.eps {
+			sp[i] = ep.Register(service)
+		}
+		return sp
+	}
+	if cfg.mpi {
+		ov := mpifm.PProOverheads()
+		if cfg.gen == xport.GenFM1 {
+			ov = mpifm.SparcOverheads()
+		}
+		s.mpi = mpifm.Attach(spaces(mpifm.Service), ov, cfg.mpiOpt)
+	}
+	if cfg.sockets {
+		s.socks = make([]*sockfm.Stack, cfg.nodes)
+		for i, sp := range spaces(sockfm.Service) {
+			s.socks[i] = sockfm.New(sp)
+		}
+	}
+	if cfg.shm {
+		s.shms = make([]*shmem.Node, cfg.nodes)
+		for i, sp := range spaces(shmem.Service) {
+			s.shms[i] = shmem.Attach(sp)
+		}
+	}
+	if cfg.gaSize > 0 {
+		s.arrays = make([]*garr.Array, cfg.nodes)
+		for i, sp := range spaces(garr.Service) {
+			a, err := garr.Attach(sp, 1, cfg.gaSize, cfg.nodes)
+			if err != nil {
+				return nil, err
+			}
+			s.arrays[i] = a
+		}
+	}
+	for _, name := range cfg.custom {
+		s.custom[name] = spaces(name)
+	}
+	return s, nil
+}
+
+// Kernel exposes the deterministic simulation kernel.
+func (s *Session) Kernel() *sim.Kernel { return s.k }
+
+// Nodes reports the cluster size.
+func (s *Session) Nodes() int { return len(s.eps) }
+
+// Now reports current virtual time.
+func (s *Session) Now() Time { return s.k.Now() }
+
+// Spawn starts a simulated process at time zero.
+func (s *Session) Spawn(name string, fn func(p *Proc)) { s.k.Spawn(name, fn) }
+
+// SpawnRanks starts one process per node, each told its rank.
+func (s *Session) SpawnRanks(name string, fn func(rank int, p *Proc)) {
+	for r := 0; r < s.Nodes(); r++ {
+		r := r
+		s.k.Spawn(fmt.Sprintf("%s.%d", name, r), func(p *Proc) { fn(r, p) })
+	}
+}
+
+// Run drives the simulation until every process completes.
+func (s *Session) Run() error { return s.k.Run() }
+
+// Endpoint returns a node's shared fabric attachment (per-service stats,
+// raw extraction).
+func (s *Session) Endpoint(node int) *Endpoint { return s.eps[node] }
+
+// MPI returns a rank's communicator, or nil without WithMPI.
+func (s *Session) MPI(rank int) *Comm {
+	if s.mpi == nil {
+		return nil
+	}
+	return s.mpi[rank]
+}
+
+// Sockets returns a node's socket stack, or nil without WithSockets.
+func (s *Session) Sockets(node int) *Stack {
+	if s.socks == nil {
+		return nil
+	}
+	return s.socks[node]
+}
+
+// Shmem returns a node's one-sided attachment, or nil without WithShmem.
+func (s *Session) Shmem(node int) *ShmemNode {
+	if s.shms == nil {
+		return nil
+	}
+	return s.shms[node]
+}
+
+// Array returns a node's global-array handle, or nil without
+// WithGlobalArray.
+func (s *Session) Array(node int) *Array {
+	if s.arrays == nil {
+		return nil
+	}
+	return s.arrays[node]
+}
+
+// Space returns a node's HandlerSpace for a custom service registered with
+// WithService, or nil.
+func (s *Session) Space(node int, service string) *HandlerSpace {
+	spaces := s.custom[service]
+	if spaces == nil {
+		return nil
+	}
+	return spaces[node]
+}

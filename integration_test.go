@@ -1,4 +1,4 @@
-package repro
+package fmnet
 
 import (
 	"bytes"

@@ -70,6 +70,32 @@ type Config struct {
 	TorusRows, TorusCols int
 }
 
+// AutoShape picks a HostsPerSwitch that divides Nodes while keeping at
+// least two switches on the multi-switch topologies, so small clusters
+// assemble without hand-tuned shapes (halving from the topology's default:
+// 2 on a Line, 4 on a FatTree or Torus2D). Explicit HostsPerSwitch wins.
+func (cfg *Config) AutoShape() {
+	if cfg.HostsPerSwitch > 0 {
+		return
+	}
+	var def int
+	switch cfg.Topology {
+	case Line:
+		def = 2
+	case FatTree, Torus2D:
+		def = 4
+	default:
+		return
+	}
+	for h := def; h > 1; h /= 2 {
+		if cfg.Nodes%h == 0 && cfg.Nodes/h >= 2 {
+			cfg.HostsPerSwitch = h
+			return
+		}
+	}
+	cfg.HostsPerSwitch = 1
+}
+
 // DefaultConfig is a two-node PPro-era cluster on one switch.
 //
 // Structural parameters scale with Nodes at assembly time: New grows the
@@ -110,30 +136,39 @@ func (cfg *Config) hostsPerSwitch() int {
 // torusShape factors the switch count into a rows x cols grid, as square
 // as possible, honoring explicit TorusRows/TorusCols.
 func torusShape(cfg Config, switches int) (rows, cols int) {
+	rows, cols, err := tryTorusShape(cfg, switches)
+	if err != nil {
+		panic(err.Error())
+	}
+	return rows, cols
+}
+
+// tryTorusShape is torusShape with errors instead of panics, for Validate.
+func tryTorusShape(cfg Config, switches int) (rows, cols int, err error) {
 	rows, cols = cfg.TorusRows, cfg.TorusCols
 	switch {
 	case rows > 0 && cols > 0:
 		if rows*cols != switches {
-			panic(fmt.Sprintf("cluster: torus %dx%d cannot hold %d switches", rows, cols, switches))
+			return 0, 0, fmt.Errorf("cluster: torus %dx%d cannot hold %d switches", rows, cols, switches)
 		}
-		return rows, cols
+		return rows, cols, nil
 	case rows > 0:
 		if switches%rows != 0 {
-			panic(fmt.Sprintf("cluster: %d switches do not fill %d torus rows", switches, rows))
+			return 0, 0, fmt.Errorf("cluster: %d switches do not fill %d torus rows", switches, rows)
 		}
-		return rows, switches / rows
+		return rows, switches / rows, nil
 	case cols > 0:
 		if switches%cols != 0 {
-			panic(fmt.Sprintf("cluster: %d switches do not fill %d torus cols", switches, cols))
+			return 0, 0, fmt.Errorf("cluster: %d switches do not fill %d torus cols", switches, cols)
 		}
-		return switches / cols, cols
+		return switches / cols, cols, nil
 	}
 	for r := intSqrt(switches); r >= 1; r-- {
 		if switches%r == 0 {
-			return r, switches / r
+			return r, switches / r, nil
 		}
 	}
-	return 1, switches
+	return 1, switches, nil
 }
 
 func intSqrt(n int) int {
@@ -144,10 +179,58 @@ func intSqrt(n int) int {
 	return r
 }
 
-// New builds and starts a Platform on the given kernel.
-func New(k *sim.Kernel, cfg Config) *Platform {
+// Validate checks cfg's structural constraints — node counts, topology
+// divisibility, torus shape — without building anything. TryNew and New
+// enforce the same rules; public façades (fmnet) call Validate first so a
+// bad configuration surfaces as an error, not a panic.
+func (cfg Config) Validate() error {
 	if cfg.Nodes < 2 {
-		panic("cluster: need at least 2 nodes")
+		return fmt.Errorf("cluster: need at least 2 nodes, have %d", cfg.Nodes)
+	}
+	h := cfg.hostsPerSwitch()
+	switch cfg.Topology {
+	case DirectPair:
+		if cfg.Nodes != 2 {
+			return fmt.Errorf("cluster: DirectPair requires exactly 2 nodes, have %d", cfg.Nodes)
+		}
+	case SingleSwitch:
+	case Line:
+		if cfg.Nodes%h != 0 {
+			return fmt.Errorf("cluster: Line requires Nodes divisible by %d hosts per switch", h)
+		}
+	case FatTree:
+		if cfg.Nodes%h != 0 || cfg.Nodes/h < 2 {
+			return fmt.Errorf("cluster: FatTree requires Nodes divisible by %d hosts per edge, >=2 edges", h)
+		}
+	case Torus2D:
+		if cfg.Nodes%h != 0 || cfg.Nodes/h < 2 {
+			return fmt.Errorf("cluster: Torus2D requires Nodes divisible by %d hosts per switch, >=2 switches", h)
+		}
+		if _, _, err := tryTorusShape(cfg, cfg.Nodes/h); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("cluster: unknown topology %d", cfg.Topology)
+	}
+	return nil
+}
+
+// New builds and starts a Platform on the given kernel, panicking on a
+// configuration TryNew would reject.
+func New(k *sim.Kernel, cfg Config) *Platform {
+	pl, err := TryNew(k, cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return pl
+}
+
+// TryNew builds and starts a Platform on the given kernel, returning an
+// error for invalid configurations: the construction path public façades
+// thread endpoint assembly through.
+func TryNew(k *sim.Kernel, cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	// Scale the receive ring with the cluster: the ring bounds the sum of
 	// every peer's credit window, so it must grow with Nodes or flowctl's
@@ -159,23 +242,14 @@ func New(k *sim.Kernel, cfg Config) *Platform {
 	var net *netsim.Network
 	switch cfg.Topology {
 	case DirectPair:
-		if cfg.Nodes != 2 {
-			panic("cluster: DirectPair requires exactly 2 nodes")
-		}
 		net = netsim.NewDirectPair(k, cfg.Profile.Link)
 	case SingleSwitch:
 		net = netsim.NewSingleSwitch(k, cfg.Nodes, cfg.Profile.Link, cfg.SwitchDelay)
 	case Line:
 		h := cfg.hostsPerSwitch()
-		if cfg.Nodes%h != 0 {
-			panic(fmt.Sprintf("cluster: Line requires Nodes divisible by %d hosts per switch", h))
-		}
 		net = netsim.NewLine(k, cfg.Nodes/h, h, cfg.Profile.Link, cfg.SwitchDelay)
 	case FatTree:
 		h := cfg.hostsPerSwitch()
-		if cfg.Nodes%h != 0 || cfg.Nodes/h < 2 {
-			panic(fmt.Sprintf("cluster: FatTree requires Nodes divisible by %d hosts per edge, >=2 edges", h))
-		}
 		spines := cfg.Uplinks
 		if spines == 0 {
 			if spines = h / 2; spines < 2 {
@@ -185,13 +259,8 @@ func New(k *sim.Kernel, cfg Config) *Platform {
 		net = netsim.NewFatTree(k, cfg.Nodes/h, h, spines, cfg.Profile.Link, cfg.SwitchDelay)
 	case Torus2D:
 		h := cfg.hostsPerSwitch()
-		if cfg.Nodes%h != 0 || cfg.Nodes/h < 2 {
-			panic(fmt.Sprintf("cluster: Torus2D requires Nodes divisible by %d hosts per switch, >=2 switches", h))
-		}
 		rows, cols := torusShape(cfg, cfg.Nodes/h)
 		net = netsim.NewTorus2D(k, rows, cols, h, cfg.Profile.Link, cfg.SwitchDelay)
-	default:
-		panic(fmt.Sprintf("cluster: unknown topology %d", cfg.Topology))
 	}
 	pl := &Platform{K: k, Cfg: cfg, Net: net}
 	for i := 0; i < cfg.Nodes; i++ {
@@ -201,7 +270,7 @@ func New(k *sim.Kernel, cfg Config) *Platform {
 		pl.Hosts = append(pl.Hosts, h)
 		pl.NICs = append(pl.NICs, nic)
 	}
-	return pl
+	return pl, nil
 }
 
 // Nodes reports the node count.

@@ -83,6 +83,11 @@ type Endpoint struct {
 	fc       *flowctl.Manager
 	asm      []*assembly
 	stats    Stats
+
+	// Multi-client credit wait (see fm2: one Proc owns the control queue,
+	// the rest re-check on creditSig after each refill).
+	ctrlWaiter bool
+	creditSig  sim.Signal
 }
 
 type assembly struct {
@@ -221,9 +226,16 @@ func (e *Endpoint) acquireCredit(p *sim.Proc, dst int) {
 	}
 	e.drainCtrl()
 	for !e.fc.Consume(dst) {
+		if e.ctrlWaiter {
+			e.creditSig.Wait(p)
+			continue
+		}
+		e.ctrlWaiter = true
 		pkt := e.nic.WaitCtrl(p)
+		e.ctrlWaiter = false
 		e.handleCtrl(pkt.Payload)
 		e.drainCtrl()
+		e.creditSig.Broadcast()
 	}
 }
 

@@ -100,6 +100,14 @@ type Endpoint struct {
 	msgSeq   uint16
 	pktPool  [][]byte // recycled SendStream staging slices (cap = MTU)
 	stats    Stats
+
+	// Multi-client credit wait: with several services sharing one endpoint,
+	// several Procs may block on credits for different destinations at once.
+	// Exactly one parks on the NIC control queue; the rest park on creditSig
+	// and re-check their window after every refill, so a refill consumed by
+	// the wrong waiter can never strand the right one.
+	ctrlWaiter bool
+	creditSig  sim.Signal
 }
 
 // NewEndpoint attaches FM 2.x to node `node` of the platform.
@@ -166,9 +174,18 @@ func (e *Endpoint) acquireCredit(p *sim.Proc, dst int) {
 	}
 	e.drainCtrl()
 	for !e.fc.Consume(dst) {
+		if e.ctrlWaiter {
+			// Another Proc already owns the control queue: wait for it to
+			// process a refill, then re-check our own window.
+			e.creditSig.Wait(p)
+			continue
+		}
+		e.ctrlWaiter = true
 		pkt := e.nic.WaitCtrl(p)
+		e.ctrlWaiter = false
 		e.handleCtrl(pkt.Payload)
 		e.drainCtrl()
+		e.creditSig.Broadcast()
 	}
 }
 

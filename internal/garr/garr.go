@@ -12,7 +12,14 @@ import (
 
 	"repro/internal/shmem"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
+
+// Service is the canonical endpoint-service name the Global Arrays layer
+// registers under on a shared per-node endpoint. GA traffic is its own
+// service — distinct from user-level shmem — so a shared endpoint accounts
+// its bandwidth share separately.
+const Service = "garr"
 
 // Array is one rank's handle onto a block-distributed global array.
 type Array struct {
@@ -44,6 +51,19 @@ func New(node *shmem.Node, region uint32, size, ranks int) (*Array, error) {
 	node.Register(region, a.local)
 	return a, nil
 }
+
+// Attach binds a global array to its own service window on a shared
+// endpoint: the primary binding surface. The Array owns a private
+// shmem.Node inside the space, so GA one-sided traffic rides the shared
+// transport as its own accounted service. Every rank must call Attach with
+// identical parameters (symmetric creation).
+func Attach(sp *xport.HandlerSpace, region uint32, size, ranks int) (*Array, error) {
+	return New(shmem.Attach(sp), region, size, ranks)
+}
+
+// Node exposes the underlying shmem attachment (passive ranks drive its
+// progress; tests assert its stats).
+func (a *Array) Node() *shmem.Node { return a.node }
 
 func bounds(rank, blockLen, size int) (lo, hi int) {
 	lo = rank * blockLen

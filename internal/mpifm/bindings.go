@@ -8,7 +8,12 @@ import (
 	"repro/internal/xport"
 )
 
-// mpiHandlerID is the transport handler slot MPI-FM claims on every node.
+// Service is the canonical endpoint-service name the MPI layer registers
+// under on a shared per-node endpoint.
+const Service = "mpi"
+
+// mpiHandlerID is the service-local handler slot MPI-FM claims within its
+// HandlerSpace slab.
 const mpiHandlerID = 1
 
 // Options selects which streaming-transport services the MPI device uses.
@@ -19,21 +24,40 @@ type Options struct {
 	Unpaced bool
 	// NoGather forces FM 1.x-style contiguous assembly before sending.
 	NoGather bool
+	// UnexpectedCap bounds the unexpected-message queue. Zero means
+	// unbounded (the historical MPICH pool behavior). With a cap, an
+	// arrival that would overflow the pool is dropped and counted in
+	// Stats.UnexpectedDropped — the early-MPI "truncation on pool
+	// exhaustion" failure mode made explicit and observable.
+	UnexpectedCap int
 }
 
-// AttachOver builds the MPI layer over an already-attached set of
-// transports, one per rank. This is the only binding surface: any transport
-// satisfying xport.Transport carries MPI with no MPI-side changes, so a new
-// FM generation (or a different substrate entirely) costs one adapter, not
-// a rewrite of every upper layer.
-func AttachOver(ts []xport.Transport, ov Overheads, opt Options) []*Comm {
-	comms := make([]*Comm, len(ts))
-	for i, t := range ts {
-		c := &Comm{rank: i, size: len(ts), host: t.Host(), t: t, opt: opt, ov: ov}
-		t.Register(mpiHandlerID, c.handler)
+// Attach builds the MPI layer over one HandlerSpace per rank: the primary
+// binding surface. Each space is a service window onto its node's shared
+// endpoint, so MPI co-resides with sockets, shmem, and global arrays on one
+// transport, one handler table, and one set of credit windows per node.
+func Attach(spaces []*xport.HandlerSpace, ov Overheads, opt Options) []*Comm {
+	comms := make([]*Comm, len(spaces))
+	for i, sp := range spaces {
+		c := &Comm{rank: i, size: len(spaces), host: sp.Host(), t: sp, opt: opt, ov: ov}
+		sp.Register(mpiHandlerID, c.handler)
 		comms[i] = c
 	}
 	return comms
+}
+
+// AttachOver builds the MPI layer over an already-attached set of private
+// transports, one per rank, by wrapping each in a single-service endpoint.
+//
+// Deprecated: bind to a shared endpoint instead — register the Service on
+// each node's xport.Endpoint and pass the spaces to Attach. AttachOver
+// remains for one release as a shim for transport-per-layer callers.
+func AttachOver(ts []xport.Transport, ov Overheads, opt Options) []*Comm {
+	spaces := make([]*xport.HandlerSpace, len(ts))
+	for i, t := range ts {
+		spaces[i] = xport.Solo(t, Service)
+	}
+	return Attach(spaces, ov, opt)
 }
 
 // AttachFM1 builds MPI-FM over FM 1.x on every node of the platform: the
@@ -97,9 +121,13 @@ func (c *Comm) handler(p *sim.Proc, s xport.RecvStream) {
 		return
 	}
 	p.Delay(c.ov.Unexpected)
+	// The arrival commits to the unexpected path here, before its payload
+	// has streamed in: the counter marks the commitment, and a receive
+	// posted while the rest of the message arrives is completed by
+	// enqueueUnexpected below.
+	c.stats.Unexpected++
 	buf := make([]byte, n)
 	s.Receive(p, buf)
-	c.stats.Unexpected++
 	c.enqueueUnexpected(p, srcRank, tag, buf)
 }
 

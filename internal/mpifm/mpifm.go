@@ -106,17 +106,33 @@ type inMsg struct {
 // Stats counts MPI-layer activity; Direct vs Unexpected is the copy-count
 // story of Figures 4 and 6.
 type Stats struct {
-	Sent       int64
-	Recvd      int64
-	Direct     int64 // payload landed straight in the user buffer
-	Unexpected int64 // payload buffered in the pool first
+	Sent   int64
+	Recvd  int64
+	Direct int64 // payload landed straight in the user buffer
+	// Unexpected counts arrivals that committed to the unexpected path —
+	// their header matched no posted receive. It includes messages later
+	// handed to a receive posted while they were still streaming in, and
+	// messages shed by Options.UnexpectedCap; only those actually queued
+	// appear in UnexpectedHWM.
+	Unexpected int64
+
+	// UnexpectedHWM is the unexpected queue's high-water mark: the deepest
+	// the pool ever got. Unmatched traffic grows the pool without bound
+	// unless Options.UnexpectedCap bounds it; the HWM makes that pressure
+	// observable either way.
+	UnexpectedHWM int
+	// UnexpectedDropped counts arrivals discarded because the pool was at
+	// Options.UnexpectedCap.
+	UnexpectedDropped int64
 }
 
-// Comm is one rank's communicator (MPI_COMM_WORLD).
+// Comm is one rank's communicator (MPI_COMM_WORLD). It binds to a
+// HandlerSpace — a service window onto its node's shared endpoint — never
+// to a whole transport, so MPI can co-reside with other services.
 type Comm struct {
 	rank, size int
 	host       *hostmodel.Host
-	t          xport.Transport
+	t          *xport.HandlerSpace
 	opt        Options
 	ov         Overheads
 	seq        int32
@@ -216,7 +232,7 @@ func (c *Comm) Irecv(p *sim.Proc, buf []byte, src, tag int) (*Request, error) {
 // Wait blocks (in virtual time) until req completes, driving progress.
 func (c *Comm) Wait(p *sim.Proc, req *Request) Status {
 	for !req.done {
-		c.progress(p, c.progressLimit(req))
+		c.progress(p, c.progressLimit())
 	}
 	return req.st
 }
@@ -237,12 +253,15 @@ func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) (Status, error) {
 	return c.Wait(p, req), nil
 }
 
-// progressLimit is the Extract byte budget while a receive is pending: one
-// byte, which FM rounds up to exactly one packet. Packet-at-a-time pacing
-// stops extraction the moment the posted message completes, so no data for
-// a not-yet-posted receive is pulled out of FM and forced through the
-// buffer pool — the receiver-flow-control discipline of paper §4.1.
-func (c *Comm) progressLimit(req *Request) int { return 1 }
+// progressLimit is the Extract byte budget while any receive is pending:
+// one byte, which FM rounds up to exactly one packet. The budget is the
+// same whichever request is being waited on — pacing is a property of the
+// receiver, not of a particular message — so it takes no arguments.
+// Packet-at-a-time pacing stops extraction the moment the posted message
+// completes, so no data for a not-yet-posted receive is pulled out of FM
+// and forced through the buffer pool — the receiver-flow-control
+// discipline of paper §4.1.
+func (c *Comm) progressLimit() int { return 1 }
 
 // takePosted removes and returns the first posted receive matching
 // (src, tag), or nil. FIFO order among equal matches preserves MPI's
@@ -277,12 +296,23 @@ func (c *Comm) takeUnexpected(src, tag int) *inMsg {
 // completed now, or it would wait forever for a message that has already
 // arrived. Per-sender FIFO delivery guarantees the earliest matching posted
 // receive gets the earliest message, preserving MPI non-overtaking.
+//
+// With Options.UnexpectedCap set, a message that would overflow the pool is
+// dropped (and counted) instead of queued: the bounded-buffer discipline a
+// production pool must choose when senders run ahead of matching receives.
 func (c *Comm) enqueueUnexpected(p *sim.Proc, src, tag int, data []byte) {
 	if req := c.takePosted(src, tag); req != nil {
 		c.completeFromPool(p, req, &inMsg{src: src, tag: tag, data: data})
 		return
 	}
+	if c.opt.UnexpectedCap > 0 && len(c.unexpected) >= c.opt.UnexpectedCap {
+		c.stats.UnexpectedDropped++
+		return
+	}
 	c.unexpected = append(c.unexpected, inMsg{src: src, tag: tag, data: data})
+	if n := len(c.unexpected); n > c.stats.UnexpectedHWM {
+		c.stats.UnexpectedHWM = n
+	}
 }
 
 // completeFromPool finishes a receive from the unexpected queue: the extra

@@ -18,7 +18,12 @@ import (
 	"repro/internal/xport"
 )
 
-// shmemHandlerID is the transport handler slot the shmem layer claims.
+// Service is the canonical endpoint-service name the shmem layer registers
+// under on a shared per-node endpoint.
+const Service = "shmem"
+
+// shmemHandlerID is the service-local handler slot the shmem layer claims
+// within its HandlerSpace slab.
 const shmemHandlerID = 3
 
 // header: kind(1) pad(3) region(4) offset(4) length(4) reqID(4).
@@ -41,9 +46,12 @@ type Stats struct {
 	DirectPutBytes int64 // put payload scattered straight into the region
 }
 
-// Node is one rank's shmem attachment.
+// Node is one rank's shmem attachment. It binds to a HandlerSpace — a
+// service window onto the node's shared endpoint — never to a whole
+// transport, so one-sided traffic co-resides with MPI and sockets on one
+// fabric attachment.
 type Node struct {
-	t       xport.Transport
+	t       *xport.HandlerSpace
 	regions map[uint32][]byte
 	pending int // outstanding put acks
 	getWait map[uint32][]byte
@@ -52,16 +60,27 @@ type Node struct {
 	stats   Stats
 }
 
-// New attaches shmem to a streaming transport.
-func New(t xport.Transport) *Node {
+// Attach binds shmem to its service window on a shared endpoint: the
+// primary binding surface.
+func Attach(sp *xport.HandlerSpace) *Node {
 	n := &Node{
-		t:       t,
+		t:       sp,
 		regions: make(map[uint32][]byte),
 		getWait: make(map[uint32][]byte),
 		getDone: make(map[uint32]bool),
 	}
-	t.Register(shmemHandlerID, n.handler)
+	sp.Register(shmemHandlerID, n.handler)
 	return n
+}
+
+// New attaches shmem to a private transport by wrapping it in a
+// single-service endpoint.
+//
+// Deprecated: register Service on the node's shared xport.Endpoint and pass
+// the space to Attach. New remains for one release as a shim for
+// transport-per-layer callers.
+func New(t xport.Transport) *Node {
+	return Attach(xport.Solo(t, Service))
 }
 
 // Rank reports the node ID.

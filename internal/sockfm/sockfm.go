@@ -24,7 +24,12 @@ import (
 	"repro/internal/xport"
 )
 
-// sockHandlerID is the transport handler slot the socket stack claims.
+// Service is the canonical endpoint-service name the socket stack
+// registers under on a shared per-node endpoint.
+const Service = "sockets"
+
+// sockHandlerID is the service-local handler slot the socket stack claims
+// within its HandlerSpace slab.
 const sockHandlerID = 2
 
 // headerSize is the socket segment header: kind(1) pad(1) port(2)
@@ -48,24 +53,38 @@ var (
 	ErrClosed  = errors.New("sockfm: connection closed")
 )
 
-// Stack is one node's socket layer.
+// Stack is one node's socket layer. It binds to a HandlerSpace — a service
+// window onto the node's shared endpoint — never to a whole transport, so
+// sockets co-reside with MPI, shmem, and global arrays on one fabric
+// attachment.
 type Stack struct {
-	t         xport.Transport
+	t         *xport.HandlerSpace
 	listeners map[int]*Listener
 	conns     map[uint32]*Conn
 	nextID    uint32
 }
 
-// NewStack attaches a socket stack to a streaming transport.
-func NewStack(t xport.Transport) *Stack {
+// New attaches a socket stack to its service window on a shared endpoint:
+// the primary binding surface.
+func New(sp *xport.HandlerSpace) *Stack {
 	s := &Stack{
-		t:         t,
+		t:         sp,
 		listeners: make(map[int]*Listener),
 		conns:     make(map[uint32]*Conn),
 		nextID:    1,
 	}
-	t.Register(sockHandlerID, s.handler)
+	sp.Register(sockHandlerID, s.handler)
 	return s
+}
+
+// NewStack attaches a socket stack to a private transport by wrapping it in
+// a single-service endpoint.
+//
+// Deprecated: register Service on the node's shared xport.Endpoint and pass
+// the space to New. NewStack remains for one release as a shim for
+// transport-per-layer callers.
+func NewStack(t xport.Transport) *Stack {
+	return New(xport.Solo(t, Service))
 }
 
 // Node reports the stack's node ID.

@@ -1,0 +1,327 @@
+package xport
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fm1"
+	"repro/internal/fm2"
+	"repro/internal/hostmodel"
+	"repro/internal/sim"
+)
+
+// The shared-endpoint layer: FM 2.x's defining interface claim is that the
+// messaging substrate is shared by many simultaneous clients — MPI, sockets,
+// shared memory, global arrays — multiplexed by handler dispatch on ONE
+// per-node attachment, not one private NIC binding per library (paper §4.2).
+// An Endpoint makes that claim structural: it owns one Transport and hands
+// each client a HandlerSpace, a namespaced window onto the shared handler
+// table. Co-resident services cannot collide on HandlerIDs, share one credit
+// window per peer instead of fighting the fabric with independent windows,
+// and draw on one receive ring whose extraction budget is charged fairly.
+
+// SpaceSize is the handler-ID slab each registered service owns. Wire
+// handler IDs are service base + local ID; locals must stay below SpaceSize.
+const SpaceSize HandlerID = 64
+
+// maxServices bounds registration so slab bases stay inside HandlerID.
+const maxServices = int(^HandlerID(0)/SpaceSize) - 1
+
+// ServiceStats counts one service's share of the endpoint's traffic.
+type ServiceStats struct {
+	Msgs  int64 // messages dispatched to this service's handlers
+	Bytes int64 // payload bytes consumed (received or discarded) by them
+}
+
+// Endpoint is one node's shared attachment to the messaging substrate:
+// exactly one underlying Transport (FM 1.x or 2.x), multiplexed across
+// registered services. Services must be registered in the same order on
+// every node of a job — slab bases are positional, like symmetric SHMEM
+// allocation — which endpoint-aware assembly (fmnet, bench) guarantees by
+// construction.
+type Endpoint struct {
+	t        Transport
+	services []*HandlerSpace
+	byName   map[string]*HandlerSpace
+}
+
+// NewEndpoint wraps a Transport as a shared multi-service endpoint. The
+// transport's handler table must not be used directly once wrapped: all
+// registration goes through HandlerSpaces.
+func NewEndpoint(t Transport) *Endpoint {
+	return &Endpoint{t: t, byName: make(map[string]*HandlerSpace)}
+}
+
+// Node reports the endpoint's node ID.
+func (e *Endpoint) Node() int { return e.t.Node() }
+
+// Host exposes the host model for cost charging.
+func (e *Endpoint) Host() *hostmodel.Host { return e.t.Host() }
+
+// Transport exposes the underlying transport (tests assert its invariants;
+// clients must bind through a HandlerSpace instead).
+func (e *Endpoint) Transport() Transport { return e.t }
+
+// Services lists registered service names in registration (slab) order.
+func (e *Endpoint) Services() []string {
+	names := make([]string, len(e.services))
+	for i, s := range e.services {
+		names[i] = s.name
+	}
+	return names
+}
+
+// Register attaches a named service to the endpoint and returns its
+// HandlerSpace. The space's handler-ID slab is positional: the i-th
+// registered service owns wire IDs [i*SpaceSize, (i+1)*SpaceSize).
+func (e *Endpoint) Register(service string) *HandlerSpace {
+	if _, dup := e.byName[service]; dup {
+		panic(fmt.Sprintf("xport: duplicate service %q on node %d", service, e.Node()))
+	}
+	if len(e.services) >= maxServices {
+		panic(fmt.Sprintf("xport: too many services on node %d (max %d)", e.Node(), maxServices))
+	}
+	hs := &HandlerSpace{
+		ep:   e,
+		name: service,
+		base: HandlerID(len(e.services)) * SpaceSize,
+	}
+	e.services = append(e.services, hs)
+	e.byName[service] = hs
+	return hs
+}
+
+// Space returns the HandlerSpace of a registered service, or nil.
+func (e *Endpoint) Space(service string) *HandlerSpace { return e.byName[service] }
+
+// ServiceStats returns a copy of one service's counters (zero if absent).
+func (e *Endpoint) ServiceStats(service string) ServiceStats {
+	if hs := e.byName[service]; hs != nil {
+		return hs.stats
+	}
+	return ServiceStats{}
+}
+
+// Extract services the shared attachment with no service attribution of the
+// budget: a plain pump for callers outside any service (session drivers).
+func (e *Endpoint) Extract(p *sim.Proc, maxBytes int) int {
+	return e.t.Extract(p, maxBytes)
+}
+
+// snapshotFor records every service's consumed-byte counter into the
+// caller's reused scratch slice. Extraction is the hot path, so the
+// snapshot must not allocate per call; the scratch lives on the CALLING
+// space, not the endpoint, because Procs of different services can be
+// inside extractFor at once (one parked mid-Extract while a handler runs),
+// while each service itself is single-threaded.
+func (e *Endpoint) snapshotFor(caller *HandlerSpace) []int64 {
+	if cap(caller.snap) < len(e.services) {
+		caller.snap = make([]int64, len(e.services))
+	}
+	snap := caller.snap[:len(e.services)]
+	for i, s := range e.services {
+		snap[i] = s.stats.Bytes
+	}
+	return snap
+}
+
+// overShare reports whether any service other than caller has consumed
+// more than share bytes since snap was taken.
+func (e *Endpoint) overShare(snap []int64, caller *HandlerSpace, share int64) bool {
+	for i, s := range e.services {
+		if s != caller && s.stats.Bytes-snap[i] >= share {
+			return true
+		}
+	}
+	return false
+}
+
+// extractFor services the network on behalf of one service. The byte budget
+// is charged against the CALLER's traffic only: the receive ring is strictly
+// arrival-ordered, so packets belonging to co-resident services are still
+// extracted — their handlers run, their streams advance — but those bytes
+// are billed to THEIR accounts. A layer pacing a one-byte posted-receive
+// budget (the §4.1 discipline) therefore cannot be starved by another
+// service's bulk stream occupying the ring head. Fairness is round-robin in
+// shares: each foreign service may consume at most the caller's own budget
+// per call, so a paced Extract cannot be conscripted as an unbounded pump
+// for a firehose aimed at someone else — past that share the call returns
+// and the other service must drive its own progress.
+//
+// Over the FM 1.x adapter the per-packet quantum does not exist —
+// FM_extract has no byte budget and drains everything pending (the very
+// receiver-flow-control gap the paper charges against the 1.x interface) —
+// so there pacing and the foreign-share bound are accounting-only: bytes
+// are still billed to the right services, but one call may run every
+// pending handler.
+func (e *Endpoint) extractFor(p *sim.Proc, caller *HandlerSpace, maxBytes int) int {
+	if maxBytes <= 0 || len(e.services) == 1 {
+		// Unlimited drain, or no co-residents to be fair to: the transport's
+		// own budget semantics apply unchanged.
+		return e.t.Extract(p, maxBytes)
+	}
+	ownStart := caller.stats.Bytes
+	snap := e.snapshotFor(caller)
+	completed := 0
+	for caller.stats.Bytes-ownStart < int64(maxBytes) {
+		if e.overShare(snap, caller, int64(maxBytes)) {
+			break // a foreign service has had its round-robin share
+		}
+		// The packet counter, not consumed bytes, is the progress meter: a
+		// continuation packet absorbed by a handler parked mid-Receive moves
+		// no byte counter until the Receive completes, and must not be
+		// mistaken for an empty ring.
+		meter := e.t.Packets()
+		completed += e.t.Extract(p, 1) // one-packet quantum
+		if e.t.Packets() == meter {
+			break // ring empty: nothing was extracted
+		}
+	}
+	return completed
+}
+
+// HandlerSpace is one service's window onto a shared Endpoint. It satisfies
+// Transport, so every upper layer binds to a space exactly as it would to a
+// private transport — but handler IDs are namespaced into the service's
+// slab, sends share the node's credit windows, and Extract is budget-fair
+// across co-resident services.
+type HandlerSpace struct {
+	ep    *Endpoint
+	name  string
+	base  HandlerID
+	stats ServiceStats
+	snap  []int64 // extractFor scratch (a service is single-threaded)
+}
+
+// Service reports the service name this space was registered under.
+func (hs *HandlerSpace) Service() string { return hs.name }
+
+// Endpoint reports the shared endpoint this space belongs to.
+func (hs *HandlerSpace) Endpoint() *Endpoint { return hs.ep }
+
+// Stats returns a copy of this service's share counters.
+func (hs *HandlerSpace) Stats() ServiceStats { return hs.stats }
+
+// Node reports the endpoint's node ID.
+func (hs *HandlerSpace) Node() int { return hs.ep.t.Node() }
+
+// Host exposes the host model for cost charging.
+func (hs *HandlerSpace) Host() *hostmodel.Host { return hs.ep.t.Host() }
+
+// MTU reports the per-packet payload capacity.
+func (hs *HandlerSpace) MTU() int { return hs.ep.t.MTU() }
+
+// MaxMessage reports the largest message the transport carries.
+func (hs *HandlerSpace) MaxMessage() int { return hs.ep.t.MaxMessage() }
+
+// Register installs a handler under the service-local id. The wire ID is
+// base+id; ids at or above SpaceSize panic, as does a duplicate.
+func (hs *HandlerSpace) Register(id HandlerID, fn Handler) {
+	if id >= SpaceSize {
+		panic(fmt.Sprintf("xport: handler id %d outside service %q slab (max %d)",
+			id, hs.name, SpaceSize-1))
+	}
+	hs.ep.t.Register(hs.base+id, func(p *sim.Proc, s RecvStream) {
+		hs.stats.Msgs++
+		fn(p, &countedStream{s: s, hs: hs})
+	})
+}
+
+// BeginMessage opens a message toward dst under the service-local handler
+// id, mapped into the service's wire slab.
+func (hs *HandlerSpace) BeginMessage(p *sim.Proc, dst, size int, h HandlerID) (SendStream, error) {
+	if h >= SpaceSize {
+		return nil, fmt.Errorf("xport: handler id %d outside service %q slab (max %d)",
+			h, hs.name, SpaceSize-1)
+	}
+	return hs.ep.t.BeginMessage(p, dst, size, hs.base+h)
+}
+
+// Extract services the shared attachment on behalf of this service; see
+// Endpoint.extractFor for the budget-fairness contract.
+func (hs *HandlerSpace) Extract(p *sim.Proc, maxBytes int) int {
+	return hs.ep.extractFor(p, hs, maxBytes)
+}
+
+// Packets reports the shared endpoint's cumulative extracted-packet count.
+func (hs *HandlerSpace) Packets() int64 { return hs.ep.t.Packets() }
+
+// countedStream attributes a message's consumed bytes to its service.
+type countedStream struct {
+	s  RecvStream
+	hs *HandlerSpace
+}
+
+func (c *countedStream) Src() int       { return c.s.Src() }
+func (c *countedStream) Length() int    { return c.s.Length() }
+func (c *countedStream) Remaining() int { return c.s.Remaining() }
+
+func (c *countedStream) Receive(p *sim.Proc, buf []byte) int {
+	n := c.s.Receive(p, buf)
+	c.hs.stats.Bytes += int64(n)
+	return n
+}
+
+func (c *countedStream) ReceiveDiscard(p *sim.Proc, n int) int {
+	got := c.s.ReceiveDiscard(p, n)
+	c.hs.stats.Bytes += int64(got)
+	return got
+}
+
+// Solo wraps a private transport as a single-service endpoint and returns
+// that service's space: the bridge the deprecated Transport-taking layer
+// constructors use. With one service the fair extractor is a passthrough,
+// so a Solo space is cost-identical to the bare transport.
+func Solo(t Transport, service string) *HandlerSpace {
+	return NewEndpoint(t).Register(service)
+}
+
+// EndpointConfig selects the FM generation (and its engine config) backing
+// a platform's shared endpoints.
+type EndpointConfig struct {
+	Gen Gen
+	FM1 fm1.Config
+	FM2 fm2.Config
+}
+
+// Gen names a Fast Messages generation.
+type Gen int
+
+const (
+	// GenFM2 is native FM 2.x (the default zero-value choice is invalid so
+	// misconfiguration fails loudly).
+	GenFM2 Gen = iota + 1
+	// GenFM1 is FM 1.x through the staging-copy adapter.
+	GenFM1
+)
+
+// String names the generation for reports.
+func (g Gen) String() string {
+	switch g {
+	case GenFM1:
+		return "fm1"
+	case GenFM2:
+		return "fm2"
+	}
+	return fmt.Sprintf("gen(%d)", int(g))
+}
+
+// AttachEndpoints builds ONE shared endpoint per node of the platform: the
+// assembly step every multi-service node goes through. Callers then
+// Register the same services in the same order on every endpoint.
+func AttachEndpoints(pl *cluster.Platform, cfg EndpointConfig) []*Endpoint {
+	var ts []Transport
+	switch cfg.Gen {
+	case GenFM1:
+		ts = AttachFM1(pl, cfg.FM1)
+	case GenFM2:
+		ts = AttachFM2(pl, cfg.FM2)
+	default:
+		panic(fmt.Sprintf("xport: unknown FM generation %d", cfg.Gen))
+	}
+	eps := make([]*Endpoint, len(ts))
+	for i, t := range ts {
+		eps[i] = NewEndpoint(t)
+	}
+	return eps
+}

@@ -48,6 +48,8 @@ func (t *fm1Transport) Extract(p *sim.Proc, maxBytes int) int {
 	return t.ep.Extract(p)
 }
 
+func (t *fm1Transport) Packets() int64 { return t.ep.Stats().PacketsRecvd }
+
 func (t *fm1Transport) Register(id HandlerID, fn Handler) {
 	t.ep.Register(fm1.HandlerID(id), func(p *sim.Proc, src int, data []byte) {
 		fn(p, &stagedStream{t: t, src: src, data: data, msglen: len(data)})

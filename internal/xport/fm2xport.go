@@ -33,6 +33,7 @@ func (t *fm2Transport) MaxMessage() int       { return t.ep.MaxMessage() }
 func (t *fm2Transport) Extract(p *sim.Proc, maxBytes int) int {
 	return t.ep.Extract(p, maxBytes)
 }
+func (t *fm2Transport) Packets() int64 { return t.ep.Stats().PacketsRecvd }
 
 func (t *fm2Transport) Register(id HandlerID, fn Handler) {
 	// *fm2.RecvStream satisfies RecvStream structurally; only the handler

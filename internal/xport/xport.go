@@ -83,6 +83,12 @@ type Transport interface {
 	// Transports without receiver flow control (FM 1.x) ignore the budget.
 	// Returns the number of messages completed during the call.
 	Extract(p *sim.Proc, maxBytes int) int
+	// Packets reports the cumulative count of data packets this endpoint
+	// has extracted from the network: the progress meter shared-endpoint
+	// extraction uses to distinguish an empty receive ring from a packet
+	// whose consumption is not yet visible (e.g. one absorbed mid-Receive
+	// by a parked handler).
+	Packets() int64
 }
 
 // Send transmits buf as a single-piece message over t: the convenience path
