@@ -222,7 +222,8 @@ func realisticBandwidth(d trafficgen.Dist, n int) float64 {
 }
 
 // BenchmarkSimKernelEvents measures raw kernel event throughput: the cost
-// floor under every experiment (ns/op is per simulated event).
+// floor under every experiment (ns/op is per simulated event). Allocs/op
+// must stay 0 — the exact pin lives in sim.TestKernelEventLoopZeroAlloc.
 func BenchmarkSimKernelEvents(b *testing.B) {
 	k := sim.NewKernel()
 	k.Spawn("ticker", func(p *sim.Proc) {
@@ -230,10 +231,26 @@ func BenchmarkSimKernelEvents(b *testing.B) {
 			p.Delay(sim.Nanosecond)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkCollective512 is the scale smoke: one 512-rank allreduce on the
+// fat tree per iteration. Rank counts past one crossbar's 256 one-byte-
+// routable ports require a multi-stage fabric; this bench pins that the
+// engine completes production-scale collectives in CI-tolerable wall time
+// (the 1024-rank point runs in `fmbench -perf`, which writes the
+// BENCH_*.json trajectory).
+func BenchmarkCollective512(b *testing.B) {
+	var t2 sim.Time
+	for i := 0; i < b.N; i++ {
+		t2 = bench.CollectiveTimeOn(bench.MPI2, bench.FabFatTree, bench.CollAllreduce,
+			mpifm.AlgoAuto, 512, 1024, 1)
+	}
+	b.ReportMetric(t2.Micros(), "fm2_us")
 }
 
 // BenchmarkSimChanHandoff measures virtual-channel handoff cost.

@@ -38,11 +38,14 @@ func main() {
 		topo        = flag.Bool("topo", false, "run the fabric-zoo contention and scaling report")
 		topoRanks   = flag.Int("toporanks", 0, "cap the fabric sweep's rank counts (0 = default sweep)")
 		mixed       = flag.Bool("mixed", false, "run the mixed-workload co-residency suite (shared endpoints)")
+		perf        = flag.Bool("perf", false, "run the engine wall-clock suite (events/sec, allocs/op, 512/1024-rank scaling)")
+		perfRanks   = flag.Int("perfranks", 0, "cap the perf suite's rank counts (0 = full sweep incl. 1024)")
+		jsonPath    = flag.String("json", "BENCH_PR5.json", "perf suite: machine-readable output path (empty = don't write)")
 	)
 	flag.Parse()
 	w := os.Stdout
 
-	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives && !*matrix && !*topo && !*mixed {
+	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives && !*matrix && !*topo && !*mixed && !*perf {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -96,16 +99,7 @@ func main() {
 	if *all || *topo {
 		cfg := bench.DefaultFabricReportConfig()
 		if *topoRanks > 0 {
-			var ranks []int
-			for _, r := range cfg.Ranks {
-				if r <= *topoRanks {
-					ranks = append(ranks, r)
-				}
-			}
-			if len(ranks) == 0 {
-				ranks = []int{*topoRanks}
-			}
-			cfg.Ranks = ranks
+			cfg.Ranks = capRanks(cfg.Ranks, *topoRanks)
 			// Cap the bisection and matrix platforms too — they dominate
 			// the report's cost. Node counts must stay even for the cut
 			// pattern; floor at 8 so every fabric still multi-stages.
@@ -128,6 +122,31 @@ func main() {
 		}
 		bench.WriteMixedReport(w, bench.BindFM2, bench.DefaultMixedConfig())
 	}
+	if *perf {
+		cfg := bench.DefaultPerfConfig()
+		if *perfRanks > 0 {
+			cfg.CollectiveRanks = capRanks(cfg.CollectiveRanks, *perfRanks)
+			cfg.TorusRanks = capRanks(cfg.TorusRanks, *perfRanks)
+		}
+		if err := bench.WritePerfReport(w, cfg, 5, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "fmbench: perf report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// capRanks trims a rank sweep to counts <= max, keeping at least one point.
+func capRanks(ranks []int, max int) []int {
+	var out []int
+	for _, r := range ranks {
+		if r <= max {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{max}
+	}
+	return out
 }
 
 func runCollectives(w *os.File) {

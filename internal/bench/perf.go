@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/fm2"
+	"repro/internal/mpifm"
+	"repro/internal/sim"
+)
+
+// The wall-clock engine suite: where every other bench in this package
+// measures VIRTUAL time (the model's answer), this one measures the
+// SIMULATOR — events per wall-clock second, allocations per operation, and
+// how far the rank axis can be pushed before wall-clock cost explodes. It
+// exists to keep the engine honest: the paper's CP-PACS-class machines ran
+// O(1000) nodes, so the fabric suites must be runnable at 512-1024 ranks,
+// and the zero-allocation message path is pinned here as a trajectory of
+// numbers (BENCH_*.json), not a one-off claim.
+
+// PerfEntry is one measurement of the engine itself.
+type PerfEntry struct {
+	Name   string `json:"name"`
+	Fabric string `json:"fabric,omitempty"`
+	Ranks  int    `json:"ranks,omitempty"`
+	SizeB  int    `json:"size_b,omitempty"`
+	Ops    int64  `json:"ops,omitempty"` // unit of AllocsPerOp (messages, events...)
+
+	VirtualUS    float64 `json:"virtual_us,omitempty"` // modeled result, determinism-pinned
+	WallMS       float64 `json:"wall_ms"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+}
+
+// PerfReport is the machine-readable perf trajectory written to
+// BENCH_PR<n>.json.
+type PerfReport struct {
+	Schema    string      `json:"schema"`
+	PR        int         `json:"pr"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Entries   []PerfEntry `json:"entries"`
+}
+
+// PerfSchema identifies the report layout for downstream tooling.
+const PerfSchema = "fmnet-perf/1"
+
+// PerfConfig shapes the suite.
+type PerfConfig struct {
+	// CollectiveRanks is the rank axis of the collective scaling sweep.
+	// Rank counts above 256 require a multi-stage fabric (one crossbar
+	// tops out at 256 one-byte-routable ports), so the sweep runs on the
+	// fat tree, with a torus point for the second fabric family.
+	CollectiveRanks []int
+	TorusRanks      []int
+	Size            int // bytes per rank contribution
+	KernelEvents    int // event count for the raw kernel measurement
+	StreamMsgs      int // messages for the fm2 steady-state measurement
+}
+
+// DefaultPerfConfig runs the full suite, including the 1024-rank point.
+func DefaultPerfConfig() PerfConfig {
+	return PerfConfig{
+		CollectiveRanks: []int{64, 256, 512, 1024},
+		TorusRanks:      []int{256, 512},
+		Size:            1024,
+		KernelEvents:    2_000_000,
+		StreamMsgs:      5_000,
+	}
+}
+
+// memDelta samples mallocs/bytes around fn. The simulation kernel runs all
+// Procs on the measuring goroutine's schedule, so the delta is attributable
+// to the run (modulo runtime background noise, which the large op counts
+// drown out).
+func memDelta(fn func()) (mallocs, bytes uint64) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	fn()
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs, m1.TotalAlloc - m0.TotalAlloc
+}
+
+// PerfKernelEvents measures the raw event-loop floor: one Proc delaying n
+// times — push, pop, and direct-handoff resume per event, nothing else.
+func PerfKernelEvents(n int) PerfEntry {
+	k := sim.NewKernel()
+	k.Spawn("ticker", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Delay(sim.Nanosecond)
+		}
+	})
+	var err error
+	t0 := time.Now()
+	mallocs, bytes := memDelta(func() { err = k.Run() })
+	wall := time.Since(t0)
+	if err != nil {
+		panic(fmt.Sprintf("bench: perf kernel events: %v", err))
+	}
+	ev := int64(k.Events())
+	return PerfEntry{
+		Name: "kernel-event-loop", Ops: int64(n),
+		WallMS: wall.Seconds() * 1e3, Events: ev,
+		EventsPerSec: float64(ev) / wall.Seconds(),
+		AllocsPerOp:  float64(mallocs) / float64(n),
+		BytesPerOp:   float64(bytes) / float64(n),
+	}
+}
+
+// PerfFM2Stream measures the FM 2.x point-to-point steady state: msgs
+// 1 KiB messages node0 -> node1 on the PPro pair, reporting simulator cost
+// per MESSAGE. Pool warm-up is excluded by a 10% warm-up prefix.
+func PerfFM2Stream(msgs, size int) PerfEntry {
+	warm := msgs / 10
+	if warm < 1 {
+		warm = 1
+	}
+	o := DefaultFM2Options()
+	k := sim.NewKernel()
+	pl := o.platform(k)
+	eps := fm2.Attach(pl, o.FM)
+	recvd := 0
+	buf := make([]byte, size)
+	eps[1].Register(1, func(p *sim.Proc, s *fm2.RecvStream) {
+		for s.Remaining() > 0 {
+			s.Receive(p, buf)
+		}
+		recvd++
+	})
+	var mallocs, bytes uint64
+	var steady int64
+	k.Spawn("sender", func(p *sim.Proc) {
+		msg := make([]byte, size)
+		send := func(n int) {
+			for i := 0; i < n; i++ {
+				if err := eps[0].Send(p, 1, 1, msg); err != nil {
+					panic(err)
+				}
+			}
+		}
+		send(warm)
+		m, b := memDelta(func() { send(msgs - warm) })
+		mallocs, bytes = m, b
+		steady = int64(msgs - warm)
+	})
+	k.Spawn("receiver", func(p *sim.Proc) {
+		for recvd < msgs {
+			eps[1].Extract(p, 0)
+			if recvd < msgs {
+				p.Delay(500 * sim.Nanosecond)
+			}
+		}
+	})
+	t0 := time.Now()
+	err := k.Run()
+	wall := time.Since(t0)
+	if err != nil {
+		panic(fmt.Sprintf("bench: perf fm2 stream: %v", err))
+	}
+	ev := int64(k.Events())
+	return PerfEntry{
+		Name: "fm2-send-steady-state", SizeB: size, Ops: steady,
+		WallMS: wall.Seconds() * 1e3, Events: ev,
+		EventsPerSec: float64(ev) / wall.Seconds(),
+		AllocsPerOp:  float64(mallocs) / float64(steady),
+		BytesPerOp:   float64(bytes) / float64(steady),
+	}
+}
+
+// PerfCollective measures one allreduce round at scale: virtual time (the
+// model's answer, bit-stable across engine changes) alongside the
+// simulator's wall-clock cost to produce it.
+func PerfCollective(f Fabric, ranks, size int) PerfEntry {
+	size -= size % 4
+	if size < 4 {
+		size = 4
+	}
+	k := sim.NewKernel()
+	comms := MPI2.attachFabric(k, ranks, f)
+	starts := make([]sim.Time, ranks)
+	ends := make([]sim.Time, ranks)
+	for r := 0; r < ranks; r++ {
+		c := comms[r]
+		c.SetCollectiveAlgo(mpifm.AlgoAuto)
+		k.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			sendbuf, recvbuf := collBuffers(CollAllreduce, ranks, c.Rank(), size)
+			if err := c.Barrier(p); err != nil {
+				panic(err)
+			}
+			starts[c.Rank()] = p.Now()
+			if err := c.Allreduce(p, sendbuf, recvbuf, mpifm.OpSumU32); err != nil {
+				panic(err)
+			}
+			ends[c.Rank()] = p.Now()
+		})
+	}
+	var err error
+	t0 := time.Now()
+	mallocs, bytes := memDelta(func() { err = k.Run() })
+	wall := time.Since(t0)
+	if err != nil {
+		panic(fmt.Sprintf("bench: perf allreduce ranks=%d on %s: %v", ranks, f, err))
+	}
+	start, end := starts[0], ends[0]
+	for r := 1; r < ranks; r++ {
+		if starts[r] < start {
+			start = starts[r]
+		}
+		if ends[r] > end {
+			end = ends[r]
+		}
+	}
+	ev := int64(k.Events())
+	return PerfEntry{
+		Name: "allreduce", Fabric: string(f), Ranks: ranks, SizeB: size,
+		Ops:       int64(ranks), // per-rank participation
+		VirtualUS: (end - start).Micros(),
+		WallMS:    wall.Seconds() * 1e3, Events: ev,
+		EventsPerSec: float64(ev) / wall.Seconds(),
+		AllocsPerOp:  float64(mallocs) / float64(ranks),
+		BytesPerOp:   float64(bytes) / float64(ranks),
+	}
+}
+
+// RunPerfSuite executes the whole suite.
+func RunPerfSuite(cfg PerfConfig) []PerfEntry {
+	entries := []PerfEntry{
+		PerfKernelEvents(cfg.KernelEvents),
+		PerfFM2Stream(cfg.StreamMsgs, 1024),
+	}
+	for _, n := range cfg.CollectiveRanks {
+		entries = append(entries, PerfCollective(FabFatTree, n, cfg.Size))
+	}
+	for _, n := range cfg.TorusRanks {
+		entries = append(entries, PerfCollective(FabTorus, n, cfg.Size))
+	}
+	return entries
+}
+
+// WritePerfReport renders the suite as a table and, when jsonPath is
+// non-empty, writes the machine-readable trajectory file.
+func WritePerfReport(w io.Writer, cfg PerfConfig, pr int, jsonPath string) error {
+	fmt.Fprintf(w, "Engine wall-clock suite (simulator cost, not modeled time):\n")
+	fmt.Fprintf(w, "  %-22s %-8s %6s  %12s  %10s  %12s  %10s  %10s\n",
+		"bench", "fabric", "ranks", "virtual_us", "wall_ms", "events/sec", "allocs/op", "bytes/op")
+	entries := RunPerfSuite(cfg)
+	for _, e := range entries {
+		fab := e.Fabric
+		if fab == "" {
+			fab = "-"
+		}
+		ranks := "-"
+		if e.Ranks > 0 {
+			ranks = fmt.Sprintf("%d", e.Ranks)
+		}
+		virt := "-"
+		if e.VirtualUS > 0 {
+			virt = fmt.Sprintf("%.1f", e.VirtualUS)
+		}
+		fmt.Fprintf(w, "  %-22s %-8s %6s  %12s  %10.1f  %12.0f  %10.2f  %10.1f\n",
+			e.Name, fab, ranks, virt, e.WallMS, e.EventsPerSec, e.AllocsPerOp, e.BytesPerOp)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	rep := PerfReport{
+		Schema:    PerfSchema,
+		PR:        pr,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Entries:   entries,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	return nil
+}

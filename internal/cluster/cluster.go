@@ -194,6 +194,10 @@ func (cfg Config) Validate() error {
 			return fmt.Errorf("cluster: DirectPair requires exactly 2 nodes, have %d", cfg.Nodes)
 		}
 	case SingleSwitch:
+		if cfg.Nodes > netsim.MaxSwitchPorts {
+			return fmt.Errorf("cluster: SingleSwitch cannot exceed %d nodes (one-byte source-route ports); use FatTree or Torus2D",
+				netsim.MaxSwitchPorts)
+		}
 	case Line:
 		if cfg.Nodes%h != 0 {
 			return fmt.Errorf("cluster: Line requires Nodes divisible by %d hosts per switch", h)

@@ -19,10 +19,12 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/cluster"
 	"repro/internal/flowctl"
 	"repro/internal/hostmodel"
 	"repro/internal/lanai"
+	"repro/internal/netsim"
 	"repro/internal/sim"
 )
 
@@ -44,6 +46,14 @@ type Config struct {
 	DisableBufferMgmt bool
 	// MaxMessage bounds FM_send size; 0 means the 1 MiB default.
 	MaxMessage int
+	// PoolCap bounds the frame, control-header, and assembly-buffer free
+	// lists (0 means netsim.DefaultPoolCap); each reports a high-water mark.
+	PoolCap int
+	// PoisonFrames overwrites recycled frames and assembly buffers with a
+	// poison pattern, catching handlers that retain data past their call —
+	// the contract the real FM 1.x API imposes. Debug mode: wall-clock cost
+	// only.
+	PoisonFrames bool
 }
 
 // DefaultMaxMessage is the FM 1.x message size limit.
@@ -81,8 +91,15 @@ type Endpoint struct {
 	cfg      Config
 	handlers map[HandlerID]Handler
 	fc       *flowctl.Manager
-	asm      []*assembly
+	asm      []assembly // per-source reassembly state
 	stats    Stats
+
+	// Zero-allocation steady state: frames recirculate through bounded
+	// per-endpoint pools (released by the receiving endpoint once consumed),
+	// and multi-packet reassembly draws staging buffers from a free list.
+	frames   *netsim.FramePool // data frames (PacketMTU backing)
+	ctrlPool *netsim.FramePool // credit/control headers
+	asmPool  *bufpool.Pool     // reassembly staging buffers
 
 	// Multi-client credit wait (see fm2: one Proc owns the control queue,
 	// the rest re-check on creditSig after each refill).
@@ -94,6 +111,7 @@ type assembly struct {
 	buf     []byte
 	want    int
 	handler HandlerID
+	active  bool
 }
 
 // NewEndpoint attaches FM 1.x to node `node` of the platform.
@@ -102,15 +120,28 @@ func NewEndpoint(pl *cluster.Platform, node int, cfg Config) *Endpoint {
 		cfg.MaxMessage = DefaultMaxMessage
 	}
 	h := pl.Hosts[node]
-	return &Endpoint{
+	poolCap := cfg.PoolCap
+	if poolCap <= 0 {
+		poolCap = netsim.DefaultPoolCap // one resolved bound for all three pools
+	}
+	e := &Endpoint{
 		node:     node,
 		h:        h,
 		nic:      pl.NICs[node],
 		cfg:      cfg,
 		handlers: make(map[HandlerID]Handler),
 		fc:       flowctl.New(pl.Nodes(), node, h.P.CreditWindow, h.P.RingSlots),
-		asm:      make([]*assembly, pl.Nodes()),
+		asm:      make([]assembly, pl.Nodes()),
+		frames:   netsim.NewFramePool(h.P.PacketMTU, poolCap),
+		ctrlPool: netsim.NewFramePool(headerSize, poolCap),
+		asmPool:  bufpool.New(poolCap),
 	}
+	if cfg.PoisonFrames {
+		e.frames.SetPoison(true)
+		e.ctrlPool.SetPoison(true)
+		e.asmPool.SetPoison(true)
+	}
+	return e
 }
 
 // Attach creates endpoints for every node of the platform.
@@ -139,6 +170,18 @@ func (e *Endpoint) MTU() int { return e.h.P.PacketMTU - headerSize }
 
 // MaxMessage reports the configured message size limit.
 func (e *Endpoint) MaxMessage() int { return e.cfg.MaxMessage }
+
+// FramePoolStats reports the recycling counters of the data-frame and
+// control-header pools.
+func (e *Endpoint) FramePoolStats() (data, ctrl netsim.PoolStats) {
+	return e.frames.Stats(), e.ctrlPool.Stats()
+}
+
+// AsmPoolStats reports the reassembly-buffer free list's counters.
+func (e *Endpoint) AsmPoolStats() bufpool.Stats { return e.asmPool.Stats() }
+
+// Poisoned reports whether poison-on-recycle debugging is on.
+func (e *Endpoint) Poisoned() bool { return e.cfg.PoisonFrames }
 
 // Register installs a handler under id. Handlers must be registered before
 // any peer sends to them.
@@ -189,7 +232,10 @@ func (e *Endpoint) Send(p *sim.Proc, dst int, h HandlerID, buf []byte) error {
 		}
 		p.Delay(e.h.P.PerPacketSend)
 		e.acquireCredit(p, dst)
-		frame := make([]byte, headerSize+n)
+		// Header and payload are written into a pooled frame in place; the
+		// receiving endpoint releases the frame once it is consumed.
+		pkt := e.frames.Get(headerSize + n)
+		frame := pkt.Payload
 		frame[0] = typeData
 		var flags byte
 		if first {
@@ -204,7 +250,7 @@ func (e *Endpoint) Send(p *sim.Proc, dst int, h HandlerID, buf []byte) error {
 		binary.LittleEndian.PutUint16(frame[6:], uint16(n))
 		binary.LittleEndian.PutUint32(frame[8:], uint32(total))
 		copy(frame[headerSize:], buf[off:off+n])
-		e.nic.HostSend(p, dst, frame, false)
+		e.nic.HostSendPacket(p, pkt, dst, false)
 		e.stats.PacketsSent++
 		off += n
 		first = false
@@ -233,7 +279,7 @@ func (e *Endpoint) acquireCredit(p *sim.Proc, dst int) {
 		e.ctrlWaiter = true
 		pkt := e.nic.WaitCtrl(p)
 		e.ctrlWaiter = false
-		e.handleCtrl(pkt.Payload)
+		e.handleCtrl(pkt)
 		e.drainCtrl()
 		e.creditSig.Broadcast()
 	}
@@ -245,17 +291,21 @@ func (e *Endpoint) drainCtrl() {
 		if !ok {
 			return
 		}
-		e.handleCtrl(pkt.Payload)
+		e.handleCtrl(pkt)
 	}
 }
 
-func (e *Endpoint) handleCtrl(frame []byte) {
+// handleCtrl consumes one credit packet and releases its frame back to the
+// sending endpoint's header pool.
+func (e *Endpoint) handleCtrl(pkt *netsim.Packet) {
+	frame := pkt.Payload
 	if frame[0] != typeCredit {
 		panic("fm1: non-credit packet on control queue")
 	}
 	src := int(binary.LittleEndian.Uint16(frame[2:]))
 	n := int(binary.LittleEndian.Uint32(frame[8:]))
 	e.fc.Refill(src, n)
+	pkt.Release()
 }
 
 // returnCredits sends a credit packet back to src when a half-window of
@@ -270,11 +320,15 @@ func (e *Endpoint) returnCredits(p *sim.Proc, src int) {
 }
 
 func (e *Endpoint) sendCreditPacket(p *sim.Proc, dst, n int) {
-	frame := make([]byte, headerSize)
+	pkt := e.ctrlPool.Get(headerSize)
+	frame := pkt.Payload
+	for i := range frame {
+		frame[i] = 0
+	}
 	frame[0] = typeCredit
 	binary.LittleEndian.PutUint16(frame[2:], uint16(e.node))
 	binary.LittleEndian.PutUint32(frame[8:], uint32(n))
-	e.nic.HostSend(p, dst, frame, true)
+	e.nic.HostSendPacket(p, pkt, dst, true)
 }
 
 // Extract services the network: it processes all pending packets, invoking
@@ -295,7 +349,7 @@ func (e *Endpoint) Extract(p *sim.Proc) int {
 		}
 		polled = true
 		p.Delay(e.h.P.PerPacketRecv)
-		if e.processData(p, pkt.Payload) {
+		if e.processData(p, pkt) {
 			handled++
 		}
 		e.stats.PacketsRecvd++
@@ -304,8 +358,12 @@ func (e *Endpoint) Extract(p *sim.Proc) int {
 }
 
 // processData consumes one data frame; it reports whether a full message
-// was delivered to its handler.
-func (e *Endpoint) processData(p *sim.Proc, frame []byte) bool {
+// was delivered to its handler. The frame releases back to its sender's
+// pool here: after the handler returns (single-packet path — data is valid
+// only for the duration of the call, the real API's contract) or after the
+// staging copy (multi-packet path).
+func (e *Endpoint) processData(p *sim.Proc, pkt *netsim.Packet) bool {
+	frame := pkt.Payload
 	if frame[0] != typeData {
 		panic("fm1: non-data packet on receive ring")
 	}
@@ -320,27 +378,34 @@ func (e *Endpoint) processData(p *sim.Proc, frame []byte) bool {
 	if flags&flagFirst != 0 && flags&flagLast != 0 {
 		// Single-packet message: the handler gets a pointer into the
 		// receive ring — no staging copy.
-		return e.dispatch(p, src, h, payload)
+		done := e.dispatch(p, src, h, payload)
+		pkt.Release()
+		return done
 	}
 	// Multi-packet message: FM 1.x must reassemble into a staging buffer
-	// before the handler can run — the copy FM 2.x streams eliminate.
+	// before the handler can run — the copy FM 2.x streams eliminate. The
+	// staging buffer itself comes from a bounded free list.
 	if flags&flagFirst != 0 {
-		e.asm[src] = &assembly{buf: make([]byte, 0, total), want: total, handler: h}
+		e.asm[src] = assembly{buf: e.asmPool.GetEmpty(total), want: total, handler: h, active: true}
 	}
-	a := e.asm[src]
-	if a == nil {
+	a := &e.asm[src]
+	if !a.active {
 		panic(fmt.Sprintf("fm1: continuation fragment from %d with no assembly in progress", src))
 	}
 	if !e.cfg.DisableBufferMgmt {
 		e.h.Memcpy(p, n) // staging copy, charged
 	}
 	a.buf = append(a.buf, payload...)
+	pkt.Release() // payload is staged; the frame can recycle
 	if flags&flagLast != 0 {
 		if len(a.buf) != a.want {
 			panic(fmt.Sprintf("fm1: reassembled %d bytes, expected %d", len(a.buf), a.want))
 		}
-		e.asm[src] = nil
-		return e.dispatch(p, src, a.handler, a.buf)
+		buf, handler := a.buf, a.handler
+		e.asm[src] = assembly{}
+		done := e.dispatch(p, src, handler, buf)
+		e.asmPool.Put(buf)
+		return done
 	}
 	return false
 }

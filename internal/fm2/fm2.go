@@ -32,10 +32,12 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/cluster"
 	"repro/internal/flowctl"
 	"repro/internal/hostmodel"
 	"repro/internal/lanai"
+	"repro/internal/netsim"
 	"repro/internal/sim"
 )
 
@@ -53,6 +55,16 @@ type Config struct {
 	DisableFlowControl bool
 	// MaxMessage bounds message size; 0 means the 4 MiB default.
 	MaxMessage int
+	// PoolCap bounds every per-endpoint free list — data frames, control
+	// headers, send/receive stream records, loopback staging — so bursty
+	// senders cannot pin unbounded recycled memory. 0 means
+	// netsim.DefaultPoolCap; each pool reports a high-water mark.
+	PoolCap int
+	// PoisonFrames overwrites every recycled buffer with a poison pattern,
+	// catching handlers (or engine paths) that illegally read payload after
+	// the frame returned to its pool. Debug mode: wall-clock cost only,
+	// virtual-time results are unchanged.
+	PoisonFrames bool
 }
 
 // DefaultMaxMessage is the FM 2.x message size limit.
@@ -98,8 +110,22 @@ type Endpoint struct {
 	fc       *flowctl.Manager
 	active   map[uint32]*RecvStream
 	msgSeq   uint16
-	pktPool  [][]byte // recycled SendStream staging slices (cap = MTU)
 	stats    Stats
+
+	// The zero-allocation steady state: every hot-path object recirculates
+	// through a bounded per-endpoint free list. Frames are drawn here, filled
+	// in place, and released back by the RECEIVING endpoint once consumed.
+	frames   *netsim.FramePool            // data frames (PacketMTU backing)
+	ctrlPool *netsim.FramePool            // credit/control headers
+	ssPool   bufpool.FreeList[SendStream] // recycled send-stream records
+	rsPool   bufpool.FreeList[RecvStream] // recycled receive-stream records
+	loopPool *bufpool.Pool                // loopback staging buffers
+
+	// Handler worker Procs: one coroutine services one message handler at a
+	// time and parks for reassignment instead of dying, so steady-state
+	// receive traffic spawns no goroutines.
+	idleWorkers []*hworker
+	numWorkers  int
 
 	// Multi-client credit wait: with several services sharing one endpoint,
 	// several Procs may block on credits for different destinations at once.
@@ -116,7 +142,11 @@ func NewEndpoint(pl *cluster.Platform, node int, cfg Config) *Endpoint {
 		cfg.MaxMessage = DefaultMaxMessage
 	}
 	h := pl.Hosts[node]
-	return &Endpoint{
+	poolCap := cfg.PoolCap
+	if poolCap <= 0 {
+		poolCap = netsim.DefaultPoolCap
+	}
+	e := &Endpoint{
 		node:     node,
 		h:        h,
 		nic:      pl.NICs[node],
@@ -124,7 +154,18 @@ func NewEndpoint(pl *cluster.Platform, node int, cfg Config) *Endpoint {
 		handlers: make(map[HandlerID]Handler),
 		fc:       flowctl.New(pl.Nodes(), node, h.P.CreditWindow, h.P.RingSlots),
 		active:   make(map[uint32]*RecvStream),
+		frames:   netsim.NewFramePool(h.P.PacketMTU, poolCap),
+		ctrlPool: netsim.NewFramePool(headerSize, poolCap),
+		ssPool:   bufpool.NewFreeList[SendStream](poolCap),
+		rsPool:   bufpool.NewFreeList[RecvStream](poolCap),
+		loopPool: bufpool.New(poolCap),
 	}
+	if cfg.PoisonFrames {
+		e.frames.SetPoison(true)
+		e.ctrlPool.SetPoison(true)
+		e.loopPool.SetPoison(true)
+	}
+	return e
 }
 
 // Attach creates endpoints for every node of the platform.
@@ -158,6 +199,20 @@ func (e *Endpoint) MaxMessage() int { return e.cfg.MaxMessage }
 // zero at quiesce is the handler-lifecycle invariant tests check.
 func (e *Endpoint) ActiveStreams() int { return len(e.active) }
 
+// FramePoolStats reports the recycling counters of the data-frame and
+// control-header pools (cap, high-water mark, steady-state alloc behavior).
+func (e *Endpoint) FramePoolStats() (data, ctrl netsim.PoolStats) {
+	return e.frames.Stats(), e.ctrlPool.Stats()
+}
+
+// HandlerWorkers reports how many handler coroutines this endpoint has ever
+// spawned: bounded by the peak number of concurrently-open receive streams,
+// not by message count.
+func (e *Endpoint) HandlerWorkers() int { return e.numWorkers }
+
+// Poisoned reports whether poison-on-recycle debugging is on.
+func (e *Endpoint) Poisoned() bool { return e.cfg.PoisonFrames }
+
 // Register installs a handler under id.
 func (e *Endpoint) Register(id HandlerID, fn Handler) {
 	if _, dup := e.handlers[id]; dup {
@@ -183,7 +238,7 @@ func (e *Endpoint) acquireCredit(p *sim.Proc, dst int) {
 		e.ctrlWaiter = true
 		pkt := e.nic.WaitCtrl(p)
 		e.ctrlWaiter = false
-		e.handleCtrl(pkt.Payload)
+		e.handleCtrl(pkt)
 		e.drainCtrl()
 		e.creditSig.Broadcast()
 	}
@@ -195,17 +250,21 @@ func (e *Endpoint) drainCtrl() {
 		if !ok {
 			return
 		}
-		e.handleCtrl(pkt.Payload)
+		e.handleCtrl(pkt)
 	}
 }
 
-func (e *Endpoint) handleCtrl(frame []byte) {
+// handleCtrl consumes one credit packet and releases its frame back to the
+// sending endpoint's header pool.
+func (e *Endpoint) handleCtrl(pkt *netsim.Packet) {
+	frame := pkt.Payload
 	if frame[0] != typeCredit {
 		panic("fm2: non-credit packet on control queue")
 	}
 	src := int(binary.LittleEndian.Uint16(frame[2:]))
 	n := int(binary.LittleEndian.Uint32(frame[10:]))
 	e.fc.Refill(src, n)
+	pkt.Release()
 }
 
 func (e *Endpoint) returnCredits(p *sim.Proc, src int) {
@@ -213,10 +272,14 @@ func (e *Endpoint) returnCredits(p *sim.Proc, src int) {
 		return
 	}
 	if n, due := e.fc.NoteFreed(src); due {
-		frame := make([]byte, headerSize)
+		pkt := e.ctrlPool.Get(headerSize)
+		frame := pkt.Payload
+		for i := range frame {
+			frame[i] = 0
+		}
 		frame[0] = typeCredit
 		binary.LittleEndian.PutUint16(frame[2:], uint16(e.node))
 		binary.LittleEndian.PutUint32(frame[10:], uint32(n))
-		e.nic.HostSend(p, src, frame, true)
+		e.nic.HostSendPacket(p, pkt, src, true)
 	}
 }

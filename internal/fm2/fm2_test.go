@@ -777,9 +777,12 @@ func TestLoopbackAdvancesVirtualTime(t *testing.T) {
 	}
 }
 
-// BenchmarkSendStreamChurn locks in the packet-slice reuse on the send hot
-// path: after warmup, per-message stream setup must not allocate a fresh
-// MTU-sized staging buffer (the pkt slice is pooled on the endpoint).
+// BenchmarkSendStreamChurn locks in frame and stream-record reuse on the
+// send hot path: pieces gather directly into pooled NIC frames (header
+// written in place) and stream records recycle at EndMessage. The exact
+// steady-state pin — 0 allocs per message across the whole
+// send/extract/handler/credit cycle — lives in TestSendSteadyStateZeroAlloc;
+// this bench keeps the setup-inclusive number visible in `-bench` output.
 func BenchmarkSendStreamChurn(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

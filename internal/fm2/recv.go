@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/bufpool"
+	"repro/internal/netsim"
 	"repro/internal/sim"
 )
 
@@ -15,9 +17,21 @@ const (
 	stateDone                       // handler returned
 )
 
+// pendingChunk is one delivered, not-yet-consumed span of payload. The
+// chunk's data aliases its owning frame; when the last byte is consumed the
+// frame is released back to the SENDER's pool. Loopback chunks (pkt nil)
+// alias the sender's staging buffer and need no release.
+type pendingChunk struct {
+	data []byte
+	pkt  *netsim.Packet
+}
+
 // RecvStream is the receive side of one in-flight message: the stream
 // handed to its handler. The handler pulls bytes with Receive; FM delivers
-// packet payloads into the stream as Extract processes them.
+// packet payloads into the stream as Extract processes them. Stream records
+// are recycled when the message retires, so handlers must not retain them
+// (nor any payload alias) past their return — the poison mode catches
+// violations.
 type RecvStream struct {
 	e       *Endpoint
 	src     int
@@ -25,16 +39,53 @@ type RecvStream struct {
 	handler HandlerID
 	msglen  int
 
-	pending      [][]byte // delivered, unconsumed chunks (alias ring data)
+	pending      bufpool.Queue[pendingChunk] // delivered, unconsumed chunks (alias frames)
 	pendingBytes int
 	consumed     int // bytes the handler has taken
 	delivered    int // bytes FM has delivered into the stream
 	sawLast      bool
 	drop         bool // unknown handler: discard silently
 
+	// Retirement bookkeeping: with co-resident services, several extractor
+	// Procs can be parked in runStream on ONE stream (each delivered a
+	// packet of it) and all wake when the handler finishes. runners counts
+	// them; retired makes the completion bookkeeping exactly-once; the
+	// record recycles only when the last runner has let go — otherwise a
+	// stale pointer in a still-waking extractor would alias the next
+	// message's stream.
+	runners int
+	retired bool
+
 	state   streamState
 	dataSig sim.Signal // handler parks here for more packets
 	idleSig sim.Signal // extractor parks here while the handler runs
+}
+
+// getRecvStream draws a recycled stream record with the given identity.
+func (e *Endpoint) getRecvStream(src int, msgid uint16, h HandlerID, msglen int, st streamState) *RecvStream {
+	rs := e.rsPool.Get()
+	if rs == nil {
+		rs = &RecvStream{e: e}
+	}
+	rs.src = src
+	rs.msgid = msgid
+	rs.handler = h
+	rs.msglen = msglen
+	rs.consumed = 0
+	rs.delivered = 0
+	rs.sawLast = false
+	rs.drop = false
+	rs.runners = 0
+	rs.retired = false
+	rs.state = st
+	return rs
+}
+
+// putRecvStream recycles a retired stream record. Its pending queue is empty
+// (retirement requires the handler done and the queue drained) and both
+// signals have no waiters; the backing arrays are kept for reuse.
+func (e *Endpoint) putRecvStream(rs *RecvStream) {
+	e.rsPool.Put(rs)
 }
 
 // Src reports the sending node.
@@ -47,12 +98,21 @@ func (s *RecvStream) Length() int { return s.msglen }
 // Remaining reports unconsumed message bytes.
 func (s *RecvStream) Remaining() int { return s.msglen - s.consumed }
 
+// popChunk retires the oldest pending chunk, releasing its frame.
+func (s *RecvStream) popChunk() {
+	if c := s.pending.Front(); c.pkt != nil {
+		c.pkt.Release()
+	}
+	s.pending.PopFront()
+}
+
 // Receive extracts up to len(buf) bytes of the message into buf, blocking
 // (descheduling the handler) until they have arrived. It returns the number
 // of bytes written: min(len(buf), Remaining()). The copy from the FM
 // receive region into buf is the only data movement — with a destination
 // chosen by the handler, this is the zero-staging-copy path that layer
-// interleaving exists to enable.
+// interleaving exists to enable. A fully-consumed packet's frame recycles
+// to its sender's pool right here.
 func (s *RecvStream) Receive(p *sim.Proc, buf []byte) int {
 	want := len(buf)
 	if r := s.msglen - s.consumed; want > r {
@@ -66,12 +126,12 @@ func (s *RecvStream) Receive(p *sim.Proc, buf []byte) int {
 			s.dataSig.Wait(p)     // descheduled until the next packet
 			continue
 		}
-		chunk := s.pending[0]
-		n := copy(buf[got:], chunk)
-		if n == len(chunk) {
-			s.pending = s.pending[1:]
+		chunk := s.pending.Front()
+		n := copy(buf[got:], chunk.data)
+		if n == len(chunk.data) {
+			s.popChunk()
 		} else {
-			s.pending[0] = chunk[n:]
+			chunk.data = chunk.data[n:]
 		}
 		s.pendingBytes -= n
 		s.e.h.Memcpy(p, n)
@@ -96,13 +156,13 @@ func (s *RecvStream) ReceiveDiscard(p *sim.Proc, n int) int {
 			s.dataSig.Wait(p)
 			continue
 		}
-		chunk := s.pending[0]
-		take := len(chunk)
+		chunk := s.pending.Front()
+		take := len(chunk.data)
 		if take > n-skipped {
 			take = n - skipped
-			s.pending[0] = chunk[take:]
+			chunk.data = chunk.data[take:]
 		} else {
-			s.pending = s.pending[1:]
+			s.popChunk()
 		}
 		s.pendingBytes -= take
 		skipped += take
@@ -111,8 +171,11 @@ func (s *RecvStream) ReceiveDiscard(p *sim.Proc, n int) int {
 	return skipped
 }
 
-// deliver appends one packet's payload to the stream.
-func (s *RecvStream) deliver(payload []byte, last bool) {
+// deliver appends one packet's payload to the stream, taking ownership of
+// the packet's frame (nil for loopback chunks). Frames that carry nothing
+// the handler will read — empty payloads, or arrivals after the handler
+// returned — release immediately.
+func (s *RecvStream) deliver(pkt *netsim.Packet, payload []byte, last bool) {
 	s.delivered += len(payload)
 	if last {
 		s.sawLast = true
@@ -120,12 +183,30 @@ func (s *RecvStream) deliver(payload []byte, last bool) {
 	if s.state == stateDone {
 		// Handler already returned: FM discards the rest of the message.
 		s.e.stats.DiscardedBytes += int64(len(payload))
+		if pkt != nil {
+			pkt.Release()
+		}
 		return
 	}
 	if len(payload) > 0 {
-		s.pending = append(s.pending, payload)
+		s.pending.PushBack(pendingChunk{payload, pkt})
 		s.pendingBytes += len(payload)
+	} else if pkt != nil {
+		pkt.Release()
 	}
+}
+
+// finish runs the stream's end-of-handler bookkeeping: anything delivered
+// but unconsumed is discarded and its frames recycle, then the extractor is
+// handed the CPU back.
+func (s *RecvStream) finish() {
+	s.state = stateDone
+	for s.pending.Len() > 0 {
+		s.e.stats.DiscardedBytes += int64(len(s.pending.Front().data))
+		s.popChunk()
+	}
+	s.pendingBytes = 0
+	s.idleSig.Broadcast()
 }
 
 // complete reports whether the stream can be retired: all packets arrived
@@ -134,6 +215,46 @@ func (s *RecvStream) complete() bool { return s.sawLast && s.state == stateDone 
 
 // key builds the demux key for a (src, msgid) pair.
 func key(src int, msgid uint16) uint32 { return uint32(src)<<16 | uint32(msgid) }
+
+// hworker is a reusable handler coroutine. One worker services one message
+// handler at a time; when the handler returns, the worker parks on its
+// signal until the endpoint assigns it the next message. Assignment wakes
+// it with exactly the event a fresh SpawnDaemon would have queued, so the
+// virtual-time schedule is identical to spawning per message — minus the
+// goroutine, Proc, and closure the spawn would have allocated.
+type hworker struct {
+	e   *Endpoint
+	sig sim.Signal
+	fn  Handler
+	rs  *RecvStream
+}
+
+// startHandler schedules fn(rs) on a handler worker, reusing an idle one
+// when possible.
+func (e *Endpoint) startHandler(fn Handler, rs *RecvStream) {
+	if n := len(e.idleWorkers); n > 0 {
+		w := e.idleWorkers[n-1]
+		e.idleWorkers[n-1] = nil
+		e.idleWorkers = e.idleWorkers[:n-1]
+		w.fn, w.rs = fn, rs
+		w.sig.Signal()
+		return
+	}
+	w := &hworker{e: e, fn: fn, rs: rs}
+	e.numWorkers++
+	e.h.K.SpawnDaemon(fmt.Sprintf("fm2.n%d.hw%d", e.node, e.numWorkers), w.loop)
+}
+
+func (w *hworker) loop(hp *sim.Proc) {
+	for {
+		fn, rs := w.fn, w.rs
+		w.fn, w.rs = nil, nil
+		fn(hp, rs)
+		rs.finish()
+		w.e.idleWorkers = append(w.e.idleWorkers, w)
+		w.sig.Wait(hp)
+	}
+}
 
 // Extract services the network, processing at most maxBytes of payload
 // (rounded up to the next packet boundary, as in the real API) — the
@@ -162,10 +283,13 @@ func (e *Endpoint) Extract(p *sim.Proc, maxBytes int) int {
 		}
 		polled = true
 		p.Delay(e.h.P.PerPacketRecv)
-		completed += e.processData(p, pkt.Payload)
+		// Budget accounting happens before processData: the frame may be
+		// consumed and recycled (its Payload rebound) inside the call.
+		pay := len(pkt.Payload) - headerSize
+		completed += e.processData(p, pkt)
 		e.stats.PacketsRecvd++
 		if maxBytes > 0 {
-			budget -= len(pkt.Payload) - headerSize
+			budget -= pay
 		}
 	}
 	return completed
@@ -176,7 +300,10 @@ func (e *Endpoint) ExtractAll(p *sim.Proc) int { return e.Extract(p, 0) }
 
 // processData demultiplexes one data frame into its stream and runs the
 // stream's handler until it yields; it returns 1 when the message completed.
-func (e *Endpoint) processData(p *sim.Proc, frame []byte) int {
+// Ownership of the frame passes to the stream's pending queue (released as
+// the handler consumes it) or is released here for frames nothing will read.
+func (e *Endpoint) processData(p *sim.Proc, pkt *netsim.Packet) int {
+	frame := pkt.Payload
 	if frame[0] != typeData {
 		panic("fm2: non-data packet on receive ring")
 	}
@@ -200,40 +327,60 @@ func (e *Endpoint) processData(p *sim.Proc, frame []byte) int {
 			// Unknown handler: swallow the whole message via a pre-done
 			// stream so continuation packets have somewhere to drain.
 			e.stats.UnknownHandler++
-			rs = &RecvStream{e: e, src: src, msgid: msgid, handler: h, msglen: total,
-				state: stateDone, drop: true}
+			rs = e.getRecvStream(src, msgid, h, total, stateDone)
+			rs.drop = true
 			e.active[k] = rs
-			rs.deliver(payload, flags&flagLast != 0)
-			if rs.complete() {
-				delete(e.active, k)
-			}
-			return 0
+			rs.deliver(pkt, payload, flags&flagLast != 0)
+			return e.retireIfComplete(rs, k)
 		}
-		rs = &RecvStream{e: e, src: src, msgid: msgid, handler: h, msglen: total, state: stateRunning}
+		// Deliver this packet's payload BEFORE the dispatch delay: with
+		// co-resident services, another extractor can process the message's
+		// next packet while this Proc is parked in the HandlerDispatch
+		// charge, and enqueueing ours afterwards would reorder the payload.
+		// deliver emits no events and charges no time, so moving it ahead
+		// of the delay leaves the virtual-time schedule untouched.
+		rs = e.getRecvStream(src, msgid, h, total, stateRunning)
 		e.active[k] = rs
+		rs.runners++
+		rs.deliver(pkt, payload, flags&flagLast != 0)
 		p.Delay(e.h.P.HandlerDispatch)
-		e.h.K.SpawnDaemon(fmt.Sprintf("fm2.n%d.h%d.src%d.m%d", e.node, h, src, msgid),
-			func(hp *sim.Proc) {
-				fn(hp, rs)
-				rs.state = stateDone
-				// Anything delivered but unconsumed is discarded.
-				rs.e.stats.DiscardedBytes += int64(rs.pendingBytes)
-				rs.pending, rs.pendingBytes = nil, 0
-				rs.idleSig.Broadcast()
-			})
+		e.startHandler(fn, rs)
+		e.runStream(p, rs)
+		rs.runners--
+		return e.retireIfComplete(rs, k)
 	}
-	rs.deliver(payload, flags&flagLast != 0)
+	rs.runners++
+	rs.deliver(pkt, payload, flags&flagLast != 0)
 	e.runStream(p, rs)
-	if rs.complete() {
-		delete(e.active, k)
-		if rs.drop {
-			return 0
-		}
-		e.stats.MsgsRecvd++
-		e.stats.BytesRecvd += int64(rs.delivered)
-		return 1
+	rs.runners--
+	return e.retireIfComplete(rs, k)
+}
+
+// retireIfComplete runs the message-completion bookkeeping exactly once per
+// stream and recycles the record only after the LAST extractor referencing
+// it has let go. With co-resident services, several extractor Procs can be
+// parked in runStream on one stream and all wake when its handler finishes;
+// without the retired/runners guards they would each count the message and
+// double-insert the record into the pool — handing the same record to two
+// future messages.
+func (e *Endpoint) retireIfComplete(rs *RecvStream, k uint32) int {
+	if !rs.complete() {
+		return 0
 	}
-	return 0
+	ret := 0
+	if !rs.retired {
+		rs.retired = true
+		delete(e.active, k)
+		if !rs.drop {
+			e.stats.MsgsRecvd++
+			e.stats.BytesRecvd += int64(rs.delivered)
+			ret = 1
+		}
+	}
+	if rs.runners == 0 {
+		e.putRecvStream(rs)
+	}
+	return ret
 }
 
 // deliverLoopback presents a self-send to its handler without touching the
@@ -247,20 +394,14 @@ func (e *Endpoint) deliverLoopback(p *sim.Proc, h HandlerID, msgid uint16, data 
 		e.stats.DiscardedBytes += int64(len(data))
 		return
 	}
-	rs := &RecvStream{e: e, src: e.node, msgid: msgid, handler: h, msglen: len(data), state: stateRunning}
-	rs.deliver(data, true)
+	rs := e.getRecvStream(e.node, msgid, h, len(data), stateRunning)
+	rs.deliver(nil, data, true)
 	p.Delay(e.h.P.HandlerDispatch)
-	e.h.K.SpawnDaemon(fmt.Sprintf("fm2.n%d.h%d.loop.m%d", e.node, h, msgid),
-		func(hp *sim.Proc) {
-			fn(hp, rs)
-			rs.state = stateDone
-			rs.e.stats.DiscardedBytes += int64(rs.pendingBytes)
-			rs.pending, rs.pendingBytes = nil, 0
-			rs.idleSig.Broadcast()
-		})
+	e.startHandler(fn, rs)
 	e.runStream(p, rs)
 	e.stats.MsgsRecvd++
 	e.stats.BytesRecvd += int64(rs.delivered)
+	e.putRecvStream(rs)
 }
 
 // runStream hands the CPU to the stream's handler until it parks (needs

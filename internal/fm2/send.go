@@ -3,62 +3,87 @@ package fm2
 import (
 	"fmt"
 
+	"repro/internal/netsim"
 	"repro/internal/sim"
 )
 
 // SendStream is an open outgoing message: a byte stream composed piecewise
 // by SendPiece calls (gather) and packetized transparently at the MTU.
+// Pieces are gathered DIRECTLY into a pooled NIC frame with the header
+// written in place — the PIO transfer into the NIC is the only data
+// movement, and the steady-state send path performs no allocation: frames
+// recirculate through the endpoint's pool and stream records are recycled
+// at EndMessage.
 // Loopback streams (dst == sender) skip packetization entirely: pieces are
-// gathered into a host buffer and presented to the local handler at
+// gathered into a pooled host buffer and presented to the local handler at
 // EndMessage, a pure memcpy path that never touches the NIC.
 type SendStream struct {
 	e       *Endpoint
 	dst     int
 	handler HandlerID
 	msgid   uint16
-	total   int // declared message size
-	sent    int // payload bytes accepted so far
-	pkt     []byte
-	loop    []byte // loopback staging (aliased by the local RecvStream)
+	total   int            // declared message size
+	sent    int            // payload bytes accepted so far
+	frame   *netsim.Packet // pooled frame being gathered (nil after last flush)
+	fill    int            // payload bytes gathered into frame
+	loop    []byte         // loopback staging (aliased by the local RecvStream)
 	first   bool
 	closed  bool
+}
+
+// getSendStream draws a recycled stream record, or allocates the pool's
+// first few.
+func (e *Endpoint) getSendStream() *SendStream {
+	if s := e.ssPool.Get(); s != nil {
+		return s
+	}
+	return &SendStream{e: e}
+}
+
+// putSendStream recycles a closed stream record. The free list shares the
+// endpoint's PoolCap bound.
+func (e *Endpoint) putSendStream(s *SendStream) {
+	s.frame = nil
+	s.loop = nil
+	e.ssPool.Put(s)
 }
 
 // BeginMessage opens a message of exactly `size` payload bytes toward dst.
 // The size is carried in the first packet's header, as in the real API, so
 // receivers can select destination buffers before the payload arrives.
 // dst == Node() opens a loopback self-send.
+//
+// The returned stream is owned by the endpoint and is recycled when
+// EndMessage returns: callers must not retain it past that point.
 func (e *Endpoint) BeginMessage(p *sim.Proc, dst, size int, h HandlerID) (*SendStream, error) {
 	if size < 0 || size > e.cfg.MaxMessage {
 		return nil, fmt.Errorf("fm2: message size %d out of range [0,%d]", size, e.cfg.MaxMessage)
 	}
 	p.Delay(e.h.P.SendSetup)
 	e.msgSeq++
-	s := &SendStream{
-		e:       e,
-		dst:     dst,
-		handler: h,
-		msgid:   e.msgSeq,
-		total:   size,
-		first:   true,
-	}
+	s := e.getSendStream()
+	s.dst = dst
+	s.handler = h
+	s.msgid = e.msgSeq
+	s.total = size
+	s.sent = 0
+	s.fill = 0
+	s.first = true
+	s.closed = false
 	if dst == e.node {
-		s.loop = make([]byte, 0, size)
+		s.loop = e.loopPool.GetEmpty(size)
 		return s, nil
 	}
-	if n := len(e.pktPool); n > 0 {
-		s.pkt = e.pktPool[n-1][:0]
-		e.pktPool = e.pktPool[:n-1]
-	} else {
-		s.pkt = make([]byte, 0, e.MTU())
-	}
+	s.frame = e.frames.Get(e.h.P.PacketMTU)
 	return s, nil
 }
 
 // SendPiece appends buf to the message stream. Pieces of arbitrary sizes
-// are gathered directly into outgoing packets: the PIO transfer into the
-// NIC is the only data movement, eliminating the assembly copy that the
-// FM 1.x contiguous-buffer API forces on upper layers (paper §4.1).
+// are gathered directly into the outgoing pooled frame: the PIO transfer
+// into the NIC is the only data movement, eliminating the assembly copy
+// that the FM 1.x contiguous-buffer API forces on upper layers (paper
+// §4.1) — and, in this simulator, eliminating the staging-slice-to-frame
+// copy and per-flush allocation the previous engine performed.
 func (s *SendStream) SendPiece(p *sim.Proc, buf []byte) error {
 	if s.closed {
 		return fmt.Errorf("fm2: SendPiece after EndMessage")
@@ -79,15 +104,12 @@ func (s *SendStream) SendPiece(p *sim.Proc, buf []byte) error {
 	}
 	mtu := s.e.MTU()
 	for len(buf) > 0 {
-		if len(s.pkt) == mtu {
+		if s.fill == mtu {
 			// Packet full and more bytes follow: it cannot be the last.
 			s.flush(p, false)
 		}
-		n := mtu - len(s.pkt)
-		if n > len(buf) {
-			n = len(buf)
-		}
-		s.pkt = append(s.pkt, buf[:n]...)
+		n := copy(s.frame.Payload[headerSize+s.fill:headerSize+mtu], buf)
+		s.fill += n
 		buf = buf[n:]
 		s.sent += n
 	}
@@ -97,6 +119,7 @@ func (s *SendStream) SendPiece(p *sim.Proc, buf []byte) error {
 // EndMessage closes the stream, flushing the final packet with the LAST
 // flag. Every byte declared in BeginMessage must have been supplied. A
 // loopback stream instead presents the gathered bytes to the local handler.
+// The stream record is recycled on success; it must not be used afterwards.
 func (s *SendStream) EndMessage(p *sim.Proc) error {
 	if s.closed {
 		return fmt.Errorf("fm2: double EndMessage")
@@ -105,25 +128,35 @@ func (s *SendStream) EndMessage(p *sim.Proc) error {
 		return fmt.Errorf("fm2: EndMessage with %d of %d declared bytes sent", s.sent, s.total)
 	}
 	s.closed = true
-	s.e.stats.MsgsSent++
-	s.e.stats.BytesSent += int64(s.total)
-	if s.dst == s.e.node {
-		s.e.deliverLoopback(p, s.handler, s.msgid, s.loop)
+	e := s.e
+	e.stats.MsgsSent++
+	e.stats.BytesSent += int64(s.total)
+	if s.dst == e.node {
+		loop := s.loop
+		e.deliverLoopback(p, s.handler, s.msgid, loop)
+		// The local handler has run to completion (every byte was present),
+		// so the staging buffer is dead and can recycle.
+		e.loopPool.Put(loop)
+		e.putSendStream(s)
 		return nil
 	}
 	s.flush(p, true)
-	s.e.pktPool = append(s.e.pktPool, s.pkt[:0])
-	s.pkt = nil
+	e.putSendStream(s)
 	return nil
 }
 
-// flush transmits the current packet. Packets are flushed lazily so the
-// final one always carries the LAST flag without an extra empty packet.
+// flush transmits the current frame. Frames are flushed lazily so the final
+// one always carries the LAST flag without an extra empty packet. The
+// 16-byte header is written in place in front of the gathered payload;
+// ownership of the frame passes to the NIC, and the receiving endpoint
+// releases it back to this endpoint's pool after the handler consumes it.
 func (s *SendStream) flush(p *sim.Proc, last bool) {
 	e := s.e
 	p.Delay(e.h.P.PerPacketSend)
 	e.acquireCredit(p, s.dst)
-	frame := make([]byte, headerSize+len(s.pkt))
+	pkt := s.frame
+	frame := pkt.Payload[:headerSize+s.fill]
+	pkt.Payload = frame
 	frame[0] = typeData
 	var flags byte
 	if s.first {
@@ -140,16 +173,22 @@ func (s *SendStream) flush(p *sim.Proc, last bool) {
 	putU16(2, uint16(e.node))
 	putU16(4, s.msgid)
 	putU16(6, uint16(s.handler))
-	putU16(8, uint16(len(s.pkt)))
+	putU16(8, uint16(s.fill))
 	frame[10] = byte(s.total)
 	frame[11] = byte(s.total >> 8)
 	frame[12] = byte(s.total >> 16)
 	frame[13] = byte(s.total >> 24)
-	copy(frame[headerSize:], s.pkt)
-	e.nic.HostSend(p, s.dst, frame, false)
+	frame[14] = 0
+	frame[15] = 0
+	e.nic.HostSendPacket(p, pkt, s.dst, false)
 	e.stats.PacketsSent++
 	s.first = false
-	s.pkt = s.pkt[:0]
+	s.fill = 0
+	if last {
+		s.frame = nil
+	} else {
+		s.frame = e.frames.Get(e.h.P.PacketMTU)
+	}
 }
 
 // Send transmits buf as a single-piece message: the convenience path for

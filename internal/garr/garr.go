@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/bufpool"
 	"repro/internal/shmem"
 	"repro/internal/sim"
 	"repro/internal/xport"
@@ -29,6 +30,7 @@ type Array struct {
 	ranks    int
 	blockLen int // elements per rank (last block may be short)
 	local    []byte
+	bufs     *bufpool.Pool // per-span marshalling buffers
 }
 
 // New creates rank-local state for a global array of size elements across
@@ -47,6 +49,10 @@ func New(node *shmem.Node, region uint32, size, ranks int) (*Array, error) {
 		ranks:    ranks,
 		blockLen: blockLen,
 		local:    make([]byte, (hi-lo)*8),
+		bufs:     bufpool.New(0),
+	}
+	if node.Poisoned() {
+		a.bufs.SetPoison(true) // align with the engine's poison mode
 	}
 	node.Register(region, a.local)
 	return a, nil
@@ -79,6 +85,9 @@ func bounds(rank, blockLen, size int) (lo, hi int) {
 
 // Size reports the global element count.
 func (a *Array) Size() int { return a.size }
+
+// PoolStats reports the span-marshalling buffer pool's recycling counters.
+func (a *Array) PoolStats() bufpool.Stats { return a.bufs.Stats() }
 
 // OwnerOf reports the rank owning global index i.
 func (a *Array) OwnerOf(i int) int { return i / a.blockLen }
@@ -135,15 +144,19 @@ func (a *Array) Put(p *sim.Proc, lo int, vals []float64) error {
 	}
 	v := 0
 	for _, s := range spans {
-		buf := make([]byte, s.n*8)
+		buf := a.bufs.Get(s.n * 8)
 		for i := 0; i < s.n; i++ {
 			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(vals[v+i]))
 		}
 		if s.rank == a.node.Rank() {
 			copy(a.local[s.off*8:], buf)
 		} else if err := a.node.Put(p, s.rank, a.region, s.off*8, buf); err != nil {
+			a.bufs.Put(buf)
 			return err
 		}
+		// Put gathers the bytes into the transport before returning, so the
+		// marshalling buffer recycles immediately.
+		a.bufs.Put(buf)
 		v += s.n
 	}
 	a.node.Quiet(p)
@@ -158,15 +171,17 @@ func (a *Array) Get(p *sim.Proc, lo int, out []float64) error {
 	}
 	v := 0
 	for _, s := range spans {
-		buf := make([]byte, s.n*8)
+		buf := a.bufs.Get(s.n * 8)
 		if s.rank == a.node.Rank() {
 			copy(buf, a.local[s.off*8:s.off*8+s.n*8])
 		} else if err := a.node.Get(p, s.rank, a.region, s.off*8, buf); err != nil {
+			a.bufs.Put(buf)
 			return err
 		}
 		for i := 0; i < s.n; i++ {
 			out[v+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
 		}
+		a.bufs.Put(buf)
 		v += s.n
 	}
 	return nil

@@ -113,6 +113,7 @@ func (n *NIC) recvFirmware(p *sim.Proc) {
 				n.stats.Received++
 			} else {
 				n.stats.RingDropped++
+				pkt.Release() // dropped frame goes straight back to its pool
 			}
 		}
 	}
@@ -120,12 +121,24 @@ func (n *NIC) recvFirmware(p *sim.Proc) {
 
 // HostSend transfers a framed packet from the host into the NIC send queue,
 // charging PIO time on the I/O bus and blocking while the queue is full.
-// The caller must be the host application Proc.
+// The caller must be the host application Proc. The frame is wrapped in a
+// fresh unpooled packet; protocol engines on the zero-allocation path use
+// HostSendPacket with pool-drawn frames instead.
 func (n *NIC) HostSend(p *sim.Proc, dst int, frame []byte, ctrl bool) {
+	n.HostSendPacket(p, &netsim.Packet{Payload: frame}, dst, ctrl)
+}
+
+// HostSendPacket transfers an already-framed packet (typically drawn from a
+// netsim.FramePool with header and payload written in place) into the NIC
+// send queue. Ownership of the frame passes to the NIC here: the receiving
+// endpoint releases it back to its pool after the last byte is consumed.
+func (n *NIC) HostSendPacket(p *sim.Proc, pkt *netsim.Packet, dst int, ctrl bool) {
 	if n.cfg.ChargeBus {
-		n.H.BusTransfer(p, len(frame))
+		n.H.BusTransfer(p, len(pkt.Payload))
 	}
-	n.sendq.Send(p, &netsim.Packet{Dst: dst, Payload: frame, Ctrl: ctrl})
+	pkt.Dst = dst
+	pkt.Ctrl = ctrl
+	n.sendq.Send(p, pkt)
 }
 
 // Poll removes the next packet from the receive ring without blocking,

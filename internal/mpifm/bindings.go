@@ -1,6 +1,7 @@
 package mpifm
 
 import (
+	"repro/internal/bufpool"
 	"repro/internal/cluster"
 	"repro/internal/fm1"
 	"repro/internal/fm2"
@@ -39,7 +40,11 @@ type Options struct {
 func Attach(spaces []*xport.HandlerSpace, ov Overheads, opt Options) []*Comm {
 	comms := make([]*Comm, len(spaces))
 	for i, sp := range spaces {
-		c := &Comm{rank: i, size: len(spaces), host: sp.Host(), t: sp, opt: opt, ov: ov}
+		c := &Comm{rank: i, size: len(spaces), host: sp.Host(), t: sp, opt: opt, ov: ov,
+			tmpPool: bufpool.New(0)}
+		if sp.Poisoned() {
+			c.tmpPool.SetPoison(true) // align collective scratch with the engine's poison mode
+		}
 		sp.Register(mpiHandlerID, c.handler)
 		comms[i] = c
 	}

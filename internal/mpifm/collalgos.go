@@ -65,7 +65,8 @@ func (c *Comm) reduceFlat(p *sim.Proc, sendbuf, recvbuf []byte, op ReduceOp, roo
 		return c.Send(p, sendbuf, root, tag)
 	}
 	c.localCopy(p, recvbuf, sendbuf)
-	tmp := make([]byte, len(sendbuf))
+	tmp := c.tmpPool.Get(len(sendbuf))
+	defer c.tmpPool.Put(tmp)
 	for src := 0; src < c.size; src++ {
 		if src == root {
 			continue
@@ -86,10 +87,12 @@ func (c *Comm) reduceBinomial(p *sim.Proc, sendbuf, recvbuf []byte, op ReduceOp,
 	vrank := (c.rank - root + size) % size
 	acc := recvbuf
 	if c.rank != root {
-		acc = make([]byte, len(sendbuf))
+		acc = c.tmpPool.Get(len(sendbuf))
+		defer c.tmpPool.Put(acc)
 	}
 	c.localCopy(p, acc, sendbuf)
-	tmp := make([]byte, len(sendbuf))
+	tmp := c.tmpPool.Get(len(sendbuf))
+	defer c.tmpPool.Put(tmp)
 	for mask := 1; mask < size; mask <<= 1 {
 		if vrank&mask != 0 {
 			parent := (vrank - mask + root) % size
@@ -147,7 +150,8 @@ func (c *Comm) allreduceRecDbl(p *sim.Proc, sendbuf, recvbuf []byte, op ReduceOp
 		_, err := c.Recv(p, recvbuf, partner, tag)
 		return err
 	}
-	tmp := make([]byte, len(sendbuf))
+	tmp := c.tmpPool.Get(len(sendbuf))
+	defer c.tmpPool.Put(tmp)
 	if r < rem {
 		if _, err := c.Recv(p, tmp, r+pof2, tag); err != nil {
 			return err
@@ -188,7 +192,8 @@ func (c *Comm) allreduceRing(p *sim.Proc, sendbuf, recvbuf []byte, op ReduceOp, 
 	c.localCopy(p, recvbuf, sendbuf)
 	right := (r + 1) % size
 	left := (r - 1 + size) % size
-	tmp := make([]byte, n)
+	tmp := c.tmpPool.Get(n)
+	defer c.tmpPool.Put(tmp)
 	sendFirst := r%2 == 0
 	for step := 0; step < size-1; step++ {
 		slo, shi := ringBlock(r-step, size, n, op.ElemSize)

@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/hostmodel"
 	"repro/internal/sim"
 	"repro/internal/xport"
@@ -144,7 +145,39 @@ type Comm struct {
 	collAlgo CollectiveAlgo
 	collSeq  uint32
 
+	// Send-path scratch: a Comm is single-threaded and its receive handler
+	// never sends, so one header buffer (gathered into the transport before
+	// Send returns) and one barrier token pair serve every message without
+	// per-call allocation.
+	hdrScratch   [HeaderSize]byte
+	barrierOne   [1]byte
+	barrierToken [1]byte
+
+	// reqPool recycles Request records for the blocking Recv path, where the
+	// request provably dies when Recv returns. Irecv requests are caller-held
+	// and stay heap-allocated.
+	reqPool bufpool.FreeList[Request]
+	// tmpPool recycles the collective algorithms' combine/staging scratch.
+	tmpPool *bufpool.Pool
+
 	stats Stats
+}
+
+// getReq draws a recycled Request for an operation that completes within
+// one call.
+func (c *Comm) getReq() *Request {
+	if r := c.reqPool.Get(); r != nil {
+		return r
+	}
+	return &Request{c: c}
+}
+
+// putReq recycles a completed internally-owned Request.
+func (c *Comm) putReq(r *Request) {
+	r.buf = nil
+	r.done = false
+	r.st = Status{}
+	c.reqPool.Put(r)
 }
 
 // Rank reports this process's rank.
@@ -159,8 +192,10 @@ func (c *Comm) Stats() Stats { return c.stats }
 // Host exposes the host model (examples charge compute time through it).
 func (c *Comm) Host() *hostmodel.Host { return c.host }
 
+// encodeHeader fills the Comm's header scratch; the slice is valid until
+// the next encodeHeader call (the transport gathers it synchronously).
 func (c *Comm) encodeHeader(tag int, n int, kind int32) []byte {
-	h := make([]byte, HeaderSize)
+	h := c.hdrScratch[:]
 	binary.LittleEndian.PutUint32(h[0:], uint32(int32(c.rank)))
 	binary.LittleEndian.PutUint32(h[4:], uint32(int32(tag)))
 	binary.LittleEndian.PutUint32(h[8:], 0) // context: COMM_WORLD
@@ -219,14 +254,21 @@ func (c *Comm) Irecv(p *sim.Proc, buf []byte, src, tag int) (*Request, error) {
 	if src != AnySource && (src < 0 || src >= c.size) {
 		return nil, fmt.Errorf("mpifm: bad source %d", src)
 	}
-	req := &Request{c: c, buf: buf, src: src, tag: tag}
+	req := &Request{c: c}
+	c.post(p, req, buf, src, tag)
+	return req, nil
+}
+
+// post arms req for (src, tag) into buf: completed immediately from the
+// unexpected pool, or queued on the posted list.
+func (c *Comm) post(p *sim.Proc, req *Request, buf []byte, src, tag int) {
+	req.buf, req.src, req.tag = buf, src, tag
 	// An already-buffered unexpected message wins first.
 	if m := c.takeUnexpected(src, tag); m != nil {
 		c.completeFromPool(p, req, m)
-		return req, nil
+		return
 	}
 	c.posted = append(c.posted, req)
-	return req, nil
 }
 
 // Wait blocks (in virtual time) until req completes, driving progress.
@@ -244,13 +286,18 @@ func (c *Comm) Waitall(p *sim.Proc, reqs []*Request) {
 	}
 }
 
-// Recv blocks until a matching message lands in buf.
+// Recv blocks until a matching message lands in buf. The request record it
+// runs on is pool-recycled: a blocking receive's request dies here, unlike
+// an Irecv's, which the caller holds.
 func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) (Status, error) {
-	req, err := c.Irecv(p, buf, src, tag)
-	if err != nil {
-		return Status{}, err
+	if src != AnySource && (src < 0 || src >= c.size) {
+		return Status{}, fmt.Errorf("mpifm: bad source %d", src)
 	}
-	return c.Wait(p, req), nil
+	req := c.getReq()
+	c.post(p, req, buf, src, tag)
+	st := c.Wait(p, req)
+	c.putReq(req)
+	return st, nil
 }
 
 // progressLimit is the Extract byte budget while any receive is pending:
@@ -338,8 +385,9 @@ func (c *Comm) complete(req *Request, src, tag, n int) {
 func (c *Comm) Barrier(p *sim.Proc) error {
 	c.barrierSeq++
 	tag := 1<<20 + c.barrierSeq // reserved tag space
-	one := []byte{1}
-	scratch := make([]byte, 1)
+	c.barrierOne[0] = 1
+	one := c.barrierOne[:]
+	scratch := c.barrierToken[:]
 	if c.rank == 0 {
 		for i := 1; i < c.size; i++ {
 			if _, err := c.Recv(p, scratch, AnySource, tag); err != nil {

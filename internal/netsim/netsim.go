@@ -26,6 +26,11 @@ type Packet struct {
 	Ctrl     bool     // control packet: receiving NICs demux it to a dedicated queue
 	Inject   sim.Time // time the packet entered the fabric
 	Seq      uint64   // injection sequence number (diagnostics)
+
+	// Frame recycling (see pool.go): pool owns the backing array Payload
+	// aliases; the consumer calls Release when the last byte is consumed.
+	pool    *FramePool
+	backing []byte
 }
 
 // Size is the number of payload bytes; framing overhead is added per link
@@ -68,12 +73,13 @@ type LinkStats struct {
 // next. Send serializes the packet at link bandwidth and blocks (holding the
 // link — back-pressure) while the downstream queue is full.
 type Link struct {
-	name  string
-	cfg   LinkConfig
-	xmit  *sim.Resource
-	dst   *sim.Chan[*Packet]
-	rng   *rand.Rand
-	stats LinkStats
+	name   string
+	cfg    LinkConfig
+	xmit   *sim.Resource
+	dst    *sim.Chan[*Packet]
+	faulty bool // either fault probability nonzero
+	rng    *rand.Rand
+	stats  LinkStats
 }
 
 // NewLink creates a link delivering into dst.
@@ -81,16 +87,13 @@ func NewLink(k *sim.Kernel, name string, cfg LinkConfig, dst *sim.Chan[*Packet])
 	if cfg.Slots < 1 {
 		cfg.Slots = 1
 	}
-	l := &Link{
-		name: name,
-		cfg:  cfg,
-		xmit: sim.NewResource(k, "link:"+name, 1),
-		dst:  dst,
+	return &Link{
+		name:   name,
+		cfg:    cfg,
+		xmit:   sim.NewResource(k, "link:"+name, 1),
+		dst:    dst,
+		faulty: cfg.DropProb > 0 || cfg.CorruptProb > 0,
 	}
-	if cfg.DropProb > 0 || cfg.CorruptProb > 0 {
-		l.rng = rand.New(rand.NewSource(cfg.Seed))
-	}
-	return l
 }
 
 // Send transmits pkt. The calling Proc is charged serialization and
@@ -102,19 +105,25 @@ func (l *Link) Send(p *sim.Proc, pkt *Packet) {
 	l.stats.Packets++
 	l.stats.Bytes += int64(pkt.Size())
 	l.stats.WireBytes += int64(wire)
-	if l.rng != nil {
+	if l.faulty {
+		// The fault-injection RNG is built lazily on first use: the default
+		// profiles (both probabilities zero) never touch this branch and pay
+		// nothing — not even the RNG's construction — for fault plumbing.
+		if l.rng == nil {
+			l.rng = rand.New(rand.NewSource(l.cfg.Seed))
+		}
 		if l.rng.Float64() < l.cfg.DropProb {
 			l.stats.Dropped++
 			l.xmit.Release(1)
+			pkt.Release() // a dropped frame goes back to its sender's pool
 			return
 		}
 		if l.rng.Float64() < l.cfg.CorruptProb && len(pkt.Payload) > 0 {
-			// Flip one bit in a copy so other references stay intact.
-			cp := append([]byte(nil), pkt.Payload...)
-			i := l.rng.Intn(len(cp))
-			cp[i] ^= 1 << uint(l.rng.Intn(8))
-			pkt = &Packet{Src: pkt.Src, Dst: pkt.Dst, Route: pkt.Route,
-				Payload: cp, Ctrl: pkt.Ctrl, Inject: pkt.Inject, Seq: pkt.Seq}
+			// Flip one bit in place. The frame is owned by the fabric at this
+			// point — senders hand ownership to the NIC — so no other reader
+			// can observe the flip before the receiver does.
+			i := l.rng.Intn(len(pkt.Payload))
+			pkt.Payload[i] ^= 1 << uint(l.rng.Intn(8))
 			l.stats.Corrupted++
 		}
 	}
@@ -141,9 +150,21 @@ type Switch struct {
 	routeDelay sim.Time
 }
 
+// MaxSwitchPorts is the hard port-count bound of one crossbar: source
+// routes address output ports with a single byte, so a switch beyond 256
+// ports would silently truncate port numbers and misroute traffic (credit
+// accounting then corrupts in ways that surface far from the cause). Scale
+// past this bound comes from multi-stage fabrics — fat tree, torus — never
+// from a wider crossbar, exactly as on the real hardware.
+const MaxSwitchPorts = 256
+
 // NewSwitch creates a switch with the given number of ports. Output links
 // must be attached with SetOut before Start.
 func NewSwitch(k *sim.Kernel, name string, ports int, routeDelay sim.Time, slots int) *Switch {
+	if ports > MaxSwitchPorts {
+		panic(fmt.Sprintf("netsim: switch %s wants %d ports; route bytes address at most %d — use a multi-stage fabric",
+			name, ports, MaxSwitchPorts))
+	}
 	s := &Switch{name: name, out: make([]*Link, ports), routeDelay: routeDelay}
 	for i := 0; i < ports; i++ {
 		s.in = append(s.in, sim.NewChan[*Packet](k, slots))

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/sim"
 	"repro/internal/xport"
 )
@@ -57,6 +58,7 @@ type Node struct {
 	getWait map[uint32][]byte
 	getDone map[uint32]bool
 	nextReq uint32
+	hdrs    *bufpool.Pool // header scratch (returned after gather)
 	stats   Stats
 }
 
@@ -68,6 +70,10 @@ func Attach(sp *xport.HandlerSpace) *Node {
 		regions: make(map[uint32][]byte),
 		getWait: make(map[uint32][]byte),
 		getDone: make(map[uint32]bool),
+		hdrs:    bufpool.New(0),
+	}
+	if sp.Poisoned() {
+		n.hdrs.SetPoison(true) // align with the engine's poison mode
 	}
 	sp.Register(shmemHandlerID, n.handler)
 	return n
@@ -89,6 +95,13 @@ func (n *Node) Rank() int { return n.t.Node() }
 // Stats returns a copy of the counters.
 func (n *Node) Stats() Stats { return n.stats }
 
+// HdrPoolStats reports the header-scratch pool's recycling counters.
+func (n *Node) HdrPoolStats() bufpool.Stats { return n.hdrs.Stats() }
+
+// Poisoned reports whether the underlying engine's poison-on-recycle debug
+// mode is on (layers stacked on shmem align their own pools with it).
+func (n *Node) Poisoned() bool { return n.t.Poisoned() }
+
 // Register exposes a memory region under an ID. All nodes must register a
 // region before peers address it (symmetric allocation, as in SHMEM).
 func (n *Node) Register(id uint32, mem []byte) {
@@ -101,9 +114,13 @@ func (n *Node) Register(id uint32, mem []byte) {
 // Region returns the local backing store of a region.
 func (n *Node) Region(id uint32) []byte { return n.regions[id] }
 
-func encode(kind int, region uint32, off, length int, req uint32) []byte {
-	h := make([]byte, headerSize)
+// encode fills a pooled header-scratch buffer; the caller returns it to
+// n.hdrs once the transport has gathered it (the send calls copy
+// synchronously, so the scratch is dead when they return).
+func (n *Node) encode(kind int, region uint32, off, length int, req uint32) []byte {
+	h := n.hdrs.Get(headerSize)
 	h[0] = byte(kind)
+	h[1], h[2], h[3] = 0, 0, 0
 	binary.LittleEndian.PutUint32(h[4:], region)
 	binary.LittleEndian.PutUint32(h[8:], uint32(off))
 	binary.LittleEndian.PutUint32(h[12:], uint32(length))
@@ -114,8 +131,10 @@ func encode(kind int, region uint32, off, length int, req uint32) []byte {
 // Put writes data into (region, offset) on the target rank. It returns
 // once the message is handed off; call Quiet to wait for remote completion.
 func (n *Node) Put(p *sim.Proc, target int, region uint32, offset int, data []byte) error {
-	hdr := encode(kindPut, region, offset, len(data), 0)
-	if err := xport.SendGather(p, n.t, target, shmemHandlerID, hdr, data); err != nil {
+	hdr := n.encode(kindPut, region, offset, len(data), 0)
+	err := xport.SendGather(p, n.t, target, shmemHandlerID, hdr, data)
+	n.hdrs.Put(hdr)
+	if err != nil {
 		return err
 	}
 	n.pending++
@@ -137,8 +156,10 @@ func (n *Node) Get(p *sim.Proc, target int, region uint32, offset int, buf []byt
 	req := n.nextReq
 	n.nextReq++
 	n.getWait[req] = buf
-	hdr := encode(kindGetReq, region, offset, len(buf), req)
-	if err := xport.Send(p, n.t, target, shmemHandlerID, hdr); err != nil {
+	hdr := n.encode(kindGetReq, region, offset, len(buf), req)
+	err := xport.Send(p, n.t, target, shmemHandlerID, hdr)
+	n.hdrs.Put(hdr)
+	if err != nil {
 		return err
 	}
 	for !n.getDone[req] {
@@ -174,7 +195,10 @@ func (n *Node) handler(p *sim.Proc, s xport.RecvStream) {
 		s.Receive(p, mem[off:off+length])
 		n.stats.RemotePuts++
 		n.stats.DirectPutBytes += int64(length)
-		if err := xport.Send(p, n.t, s.Src(), shmemHandlerID, encode(kindPutAck, region, off, length, 0)); err != nil {
+		ack := n.encode(kindPutAck, region, off, length, 0)
+		err := xport.Send(p, n.t, s.Src(), shmemHandlerID, ack)
+		n.hdrs.Put(ack)
+		if err != nil {
 			panic(fmt.Sprintf("shmem: put ack failed: %v", err))
 		}
 	case kindPutAck:
@@ -182,14 +206,16 @@ func (n *Node) handler(p *sim.Proc, s xport.RecvStream) {
 	case kindGetReq:
 		mem, ok := n.regions[region]
 		n.stats.RemoteGetReqs++
-		resp := encode(kindGetResp, region, off, length, req)
+		resp := n.encode(kindGetResp, region, off, length, req)
 		var payload []byte
 		if ok && off >= 0 && off+length <= len(mem) {
 			payload = mem[off : off+length]
 		} else {
 			payload = make([]byte, length) // zeros for an invalid request
 		}
-		if err := xport.SendGather(p, n.t, s.Src(), shmemHandlerID, resp, payload); err != nil {
+		err := xport.SendGather(p, n.t, s.Src(), shmemHandlerID, resp, payload)
+		n.hdrs.Put(resp)
+		if err != nil {
 			panic(fmt.Sprintf("shmem: get response failed: %v", err))
 		}
 	case kindGetResp:

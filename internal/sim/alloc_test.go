@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// allowStray is the per-measurement allowance for allocations the Go
+// runtime itself makes during the window (background timers, GC work).
+// The pin is on the PER-OP rate: real per-op allocations would show up
+// thousands of times over these op counts, stray runtime noise as 1-2.
+const allowStray = 4
+
+// steadyMallocs reports the malloc count of fn, executed inside a Proc
+// after warm() has populated every free list and grown every backing
+// array. At most one Proc runs at any instant under the kernel, so the
+// delta is attributable to fn.
+func steadyMallocs(fn func()) uint64 {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	fn()
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs
+}
+
+// TestKernelEventLoopZeroAlloc is the alloc-regression gate on the event
+// loop: after warm-up, a Delay chain — push, pop, direct-handoff resume per
+// event — must allocate nothing. This extends the BenchmarkKernelChurn pin
+// (which includes setup) to an exact steady-state zero.
+func TestKernelEventLoopZeroAlloc(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("alloc pins don't hold under the race detector's instrumentation")
+	}
+	const steps = 50_000
+	k := NewKernel()
+	var allocs uint64
+	k.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 1000; i++ { // warm-up: heap growth, handoff slots
+			p.Delay(Microsecond)
+		}
+		allocs = steadyMallocs(func() {
+			for i := 0; i < steps; i++ {
+				p.Delay(Microsecond)
+			}
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs > allowStray {
+		t.Fatalf("kernel event loop allocated %d times over %d events; steady state must be 0/op",
+			allocs, steps)
+	}
+}
+
+// TestChanSteadyStateZeroAlloc pins the ring-buffer Chan: steady
+// send/recv cycling (both buffered flow and blocking handoff) reuses the
+// ring, the wait queues, and the receiver handoff slots.
+func TestChanSteadyStateZeroAlloc(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("alloc pins don't hold under the race detector's instrumentation")
+	}
+	const ops = 20_000
+	k := NewKernel()
+	ch := NewChan[int](k, 2)
+	var allocs uint64
+	done := false
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 1000; i++ { // warm-up
+			ch.Send(p, i)
+		}
+		allocs = steadyMallocs(func() {
+			for i := 0; i < ops; i++ {
+				ch.Send(p, i)
+			}
+		})
+		done = true
+	})
+	k.SpawnDaemon("consumer", func(p *Proc) {
+		for {
+			ch.Recv(p)
+			p.Delay(Nanosecond) // force the producer into back-pressure parks
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("producer did not finish")
+	}
+	if allocs > allowStray {
+		t.Fatalf("chan steady state allocated %d times over %d ops; must be 0/op", allocs, ops)
+	}
+}
+
+// TestSignalSteadyStateZeroAlloc pins the Signal wait queue's backing reuse.
+func TestSignalSteadyStateZeroAlloc(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("alloc pins don't hold under the race detector's instrumentation")
+	}
+	const ops = 10_000
+	k := NewKernel()
+	var sig Signal
+	var allocs uint64
+	k.SpawnDaemon("waiter", func(p *Proc) {
+		for {
+			sig.Wait(p)
+		}
+	})
+	k.Spawn("signaler", func(p *Proc) {
+		for i := 0; i < 100; i++ { // warm-up
+			sig.Signal()
+			p.Delay(Nanosecond)
+		}
+		allocs = steadyMallocs(func() {
+			for i := 0; i < ops; i++ {
+				sig.Signal()
+				p.Delay(Nanosecond)
+			}
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs > allowStray {
+		t.Fatalf("signal steady state allocated %d times over %d ops; must be 0/op", allocs, ops)
+	}
+}

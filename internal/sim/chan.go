@@ -4,13 +4,25 @@ package sim
 // rendezvous semantics. Bounded channels are the kernel's primitive for
 // back-pressure: a full channel parks the sender, which is exactly how
 // Myrinet's link-level flow control stalls an upstream stage.
+//
+// The buffer is a ring and the wait queues recycle their backing arrays, so
+// steady-state Send/Recv traffic performs no allocation — channels sit on
+// every packet's path (NIC queues, link slots, switch ports) and per-op
+// garbage here is charged to every single simulated event.
 type Chan[T any] struct {
-	k   *Kernel
-	cap int
-	buf []T
+	k    *Kernel
+	cap  int
+	ring []T // circular buffer; grown on demand, never past cap
+	head int // index of the oldest buffered item
+	n    int // buffered item count
 
-	sendq []chanSend[T]
-	recvq []chanRecv[T]
+	sendq waitq[chanSend[T]]
+	recvq waitq[chanRecv[T]]
+
+	// slotPool recycles the handoff slots parked receivers read from: a
+	// stack-local slot would escape to the heap, costing one allocation per
+	// blocking Recv — once per packet on every NIC queue.
+	slotPool []*T
 }
 
 type chanSend[T any] struct {
@@ -23,6 +35,65 @@ type chanRecv[T any] struct {
 	slot *T
 }
 
+// waitq is a FIFO of parked endpoints. Pops advance a head index instead of
+// reslicing, and the backing array is rewound whenever the queue empties —
+// or compacted once the dead prefix dominates, so even a queue that NEVER
+// drains (a saturated link under permanent back-pressure) keeps its backing
+// proportional to live waiters, not to total traffic.
+type waitq[T any] struct {
+	q    []T
+	head int
+}
+
+// compactAt is the dead-prefix size beyond which half-dead queue backings
+// are compacted in place (amortized O(1) per pop).
+const compactAt = 32
+
+func (w *waitq[T]) len() int { return len(w.q) - w.head }
+
+func (w *waitq[T]) push(v T) { w.q = append(w.q, v) }
+
+func (w *waitq[T]) peek() T { return w.q[w.head] }
+
+func (w *waitq[T]) pop() T {
+	v := w.q[w.head]
+	var zero T
+	w.q[w.head] = zero // drop references for the GC
+	w.head++
+	switch {
+	case w.head == len(w.q):
+		w.q = w.q[:0]
+		w.head = 0
+	case w.head >= compactAt && w.head*2 >= len(w.q):
+		n := copy(w.q, w.q[w.head:])
+		for i := n; i < len(w.q); i++ {
+			w.q[i] = zero
+		}
+		w.q = w.q[:n]
+		w.head = 0
+	}
+	return v
+}
+
+// removeFirst deletes the first live entry matching the predicate (timed-out
+// Signal waiters de-queueing themselves); it reports whether one was found.
+func (w *waitq[T]) removeFirst(match func(T) bool) bool {
+	for i := w.head; i < len(w.q); i++ {
+		if match(w.q[i]) {
+			copy(w.q[i:], w.q[i+1:])
+			var zero T
+			w.q[len(w.q)-1] = zero // drop the stale duplicate for the GC
+			w.q = w.q[:len(w.q)-1]
+			if w.head == len(w.q) {
+				w.q = w.q[:0]
+				w.head = 0
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // NewChan creates a channel with the given buffer capacity (>= 0).
 func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
 	if capacity < 0 {
@@ -32,79 +103,126 @@ func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
 }
 
 // Len reports the number of buffered items.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return c.n }
 
 // Cap reports the channel capacity.
 func (c *Chan[T]) Cap() int { return c.cap }
 
 // Senders reports the number of parked senders (back-pressure depth).
-func (c *Chan[T]) Senders() int { return len(c.sendq) }
+func (c *Chan[T]) Senders() int { return c.sendq.len() }
+
+// bufPush appends v to the ring, growing the backing array (up to cap) the
+// first time depth demands it. Deep rings (large receive windows) therefore
+// cost memory proportional to their observed occupancy, not their bound.
+func (c *Chan[T]) bufPush(v T) {
+	if c.n == len(c.ring) {
+		grown := len(c.ring) * 2
+		if grown == 0 {
+			grown = 4
+		}
+		if grown > c.cap {
+			grown = c.cap
+		}
+		next := make([]T, grown)
+		for i := 0; i < c.n; i++ {
+			next[i] = c.ring[(c.head+i)%len(c.ring)]
+		}
+		c.ring = next
+		c.head = 0
+	}
+	c.ring[(c.head+c.n)%len(c.ring)] = v
+	c.n++
+}
+
+// bufPop removes and returns the oldest buffered item.
+func (c *Chan[T]) bufPop() T {
+	v := c.ring[c.head]
+	var zero T
+	c.ring[c.head] = zero
+	c.head = (c.head + 1) % len(c.ring)
+	c.n--
+	return v
+}
 
 // Send delivers v, parking p while the channel is full.
 func (c *Chan[T]) Send(p *Proc, v T) {
 	// Direct handoff to a waiting receiver (buffer must be empty then).
-	if len(c.recvq) > 0 {
-		r := c.recvq[0]
-		c.recvq = c.recvq[1:]
+	if c.recvq.len() > 0 {
+		r := c.recvq.pop()
 		*r.slot = v
 		c.k.wakeNow(r.p)
 		return
 	}
-	if len(c.buf) < c.cap {
-		c.buf = append(c.buf, v)
+	if c.n < c.cap {
+		c.bufPush(v)
 		return
 	}
-	c.sendq = append(c.sendq, chanSend[T]{p, v})
+	c.sendq.push(chanSend[T]{p, v})
 	p.park() // woken by a Recv that consumed our value
 }
 
 // TrySend delivers v without blocking; it reports success.
 func (c *Chan[T]) TrySend(v T) bool {
-	if len(c.recvq) > 0 {
-		r := c.recvq[0]
-		c.recvq = c.recvq[1:]
+	if c.recvq.len() > 0 {
+		r := c.recvq.pop()
 		*r.slot = v
 		c.k.wakeNow(r.p)
 		return true
 	}
-	if len(c.buf) < c.cap {
-		c.buf = append(c.buf, v)
+	if c.n < c.cap {
+		c.bufPush(v)
 		return true
 	}
 	return false
 }
 
+// getSlot draws a recycled handoff slot.
+func (c *Chan[T]) getSlot() *T {
+	if n := len(c.slotPool); n > 0 {
+		s := c.slotPool[n-1]
+		c.slotPool[n-1] = nil
+		c.slotPool = c.slotPool[:n-1]
+		return s
+	}
+	return new(T)
+}
+
+// putSlot returns a handoff slot after its value has been read out.
+func (c *Chan[T]) putSlot(s *T) {
+	var zero T
+	*s = zero
+	c.slotPool = append(c.slotPool, s)
+}
+
 // Recv takes the next item, parking p while the channel is empty.
 func (c *Chan[T]) Recv(p *Proc) T {
-	if len(c.buf) > 0 {
-		v := c.buf[0]
-		c.buf = c.buf[1:]
+	if c.n > 0 {
+		v := c.bufPop()
 		c.admitSender()
 		return v
 	}
-	if len(c.sendq) > 0 { // unbuffered rendezvous
-		s := c.sendq[0]
-		c.sendq = c.sendq[1:]
+	if c.sendq.len() > 0 { // unbuffered rendezvous
+		s := c.sendq.pop()
 		c.k.wakeNow(s.p)
 		return s.v
 	}
-	var slot T
-	c.recvq = append(c.recvq, chanRecv[T]{p, &slot})
+	slot := c.getSlot()
+	c.recvq.push(chanRecv[T]{p, slot})
 	p.park() // woken by a Send that filled slot
-	return slot
+	v := *slot
+	c.putSlot(slot)
+	return v
 }
 
 // TryRecv takes the next item without blocking; ok reports success.
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
-	if len(c.buf) > 0 {
-		v = c.buf[0]
-		c.buf = c.buf[1:]
+	if c.n > 0 {
+		v = c.bufPop()
 		c.admitSender()
 		return v, true
 	}
-	if len(c.sendq) > 0 {
-		s := c.sendq[0]
-		c.sendq = c.sendq[1:]
+	if c.sendq.len() > 0 {
+		s := c.sendq.pop()
 		c.k.wakeNow(s.p)
 		return s.v, true
 	}
@@ -114,11 +232,10 @@ func (c *Chan[T]) TryRecv() (v T, ok bool) {
 // admitSender moves the longest-parked sender's value into freed buffer
 // space, preserving FIFO order, and wakes it.
 func (c *Chan[T]) admitSender() {
-	if len(c.sendq) == 0 || len(c.buf) >= c.cap {
+	if c.sendq.len() == 0 || c.n >= c.cap {
 		return
 	}
-	s := c.sendq[0]
-	c.sendq = c.sendq[1:]
-	c.buf = append(c.buf, s.v)
+	s := c.sendq.pop()
+	c.bufPush(s.v)
 	c.k.wakeNow(s.p)
 }

@@ -588,8 +588,11 @@ func TestTimeString(t *testing.T) {
 
 // BenchmarkKernelChurn locks in the allocation behavior of the event-queue
 // hot path: a long Delay chain pushes and pops one event per step. The
-// hand-rolled heap keeps this free of the per-event interface boxing that
-// container/heap would charge, and the backing array is reused throughout.
+// hand-rolled hole-sifting heap keeps this free of the per-event interface
+// boxing that container/heap would charge, the backing array is reused
+// throughout, and direct handoff resumes each Proc without bouncing through
+// a driver goroutine. The exact steady-state pin — 0 allocs per event —
+// lives in TestKernelEventLoopZeroAlloc.
 func BenchmarkKernelChurn(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,9 @@
+//go:build !race
+
+package sim
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// alloc-regression gates skip under -race: the detector instruments
+// channel and memory operations with its own allocations, which would
+// fail pins that hold in every production build.
+const RaceEnabled = false

@@ -4,53 +4,54 @@ import "fmt"
 
 // Signal is a condition-variable-like wait queue in virtual time.
 // The zero value is ready to use.
+//
+// The wait queue is the same recycled-backing FIFO the channels use
+// (waitq), so park/wake cycles on hot signals — credit waits, handler
+// scheduling — allocate nothing in steady state and a signal with
+// permanent waiters cannot grow its backing with traffic.
 type Signal struct {
-	waiters []*Proc
+	q waitq[*Proc]
 }
 
 // Wait parks p until another Proc calls Signal or Broadcast. As with
 // sync.Cond, callers typically re-check their predicate in a loop.
 func (s *Signal) Wait(p *Proc) {
-	s.waiters = append(s.waiters, p)
+	s.q.push(p)
 	p.park()
 }
 
 // WaitTimeout parks p until signaled or until d elapses. It reports true if
 // the Proc was signaled and false on timeout.
 func (s *Signal) WaitTimeout(p *Proc, d Time) bool {
-	s.waiters = append(s.waiters, p)
+	s.q.push(p)
 	p.k.wakeAt(p.k.now+d, p)
 	p.park()
 	// If we are still queued, the wakeup was the timer: remove ourselves.
-	for i, w := range s.waiters {
-		if w == p {
-			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
-			return false
-		}
+	if s.q.removeFirst(func(w *Proc) bool { return w == p }) {
+		return false
 	}
 	return true
 }
 
 // Signal wakes the longest-waiting Proc, if any.
 func (s *Signal) Signal() {
-	if len(s.waiters) == 0 {
+	if s.q.len() == 0 {
 		return
 	}
-	w := s.waiters[0]
-	s.waiters = s.waiters[1:]
+	w := s.q.pop()
 	w.k.wakeNow(w)
 }
 
 // Broadcast wakes every waiting Proc in FIFO order.
 func (s *Signal) Broadcast() {
-	for _, w := range s.waiters {
+	for s.q.len() > 0 {
+		w := s.q.pop()
 		w.k.wakeNow(w)
 	}
-	s.waiters = nil
 }
 
 // Waiters reports how many Procs are parked on the Signal.
-func (s *Signal) Waiters() int { return len(s.waiters) }
+func (s *Signal) Waiters() int { return s.q.len() }
 
 // Resource is a counted resource (CPU, bus, DMA engine, buffer slots) with
 // strictly FIFO granting: a small request queued behind a large one does not
@@ -59,7 +60,7 @@ type Resource struct {
 	name  string
 	cap   int
 	inUse int
-	q     []resWait
+	q     waitq[resWait]
 
 	// Busy accounting for utilization reports.
 	busy      Time
@@ -85,17 +86,17 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if n <= 0 || n > r.cap {
 		panic(fmt.Sprintf("sim: resource %q: bad acquire %d of %d", r.name, n, r.cap))
 	}
-	if len(r.q) == 0 && r.inUse+n <= r.cap {
+	if r.q.len() == 0 && r.inUse+n <= r.cap {
 		r.grant(n)
 		return
 	}
-	r.q = append(r.q, resWait{p, n})
+	r.q.push(resWait{p, n})
 	p.park()
 }
 
 // TryAcquire obtains n units without blocking; it reports success.
 func (r *Resource) TryAcquire(n int) bool {
-	if len(r.q) == 0 && r.inUse+n <= r.cap {
+	if r.q.len() == 0 && r.inUse+n <= r.cap {
 		r.grant(n)
 		return true
 	}
@@ -118,9 +119,8 @@ func (r *Resource) Release(n int) {
 	if r.inUse == 0 {
 		r.busy += r.k.now - r.lastStart
 	}
-	for len(r.q) > 0 && r.inUse+r.q[0].n <= r.cap {
-		w := r.q[0]
-		r.q = r.q[1:]
+	for r.q.len() > 0 && r.inUse+r.q.peek().n <= r.cap {
+		w := r.q.pop()
 		r.grant(w.n)
 		r.k.wakeNow(w.p)
 	}
@@ -138,7 +138,7 @@ func (r *Resource) Use(p *Proc, d Time) {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen reports the number of waiting acquisitions.
-func (r *Resource) QueueLen() int { return len(r.q) }
+func (r *Resource) QueueLen() int { return r.q.len() }
 
 // BusyTime reports cumulative time during which at least one unit was held.
 func (r *Resource) BusyTime() Time {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/bufpool"
 	"repro/internal/sim"
 	"repro/internal/xport"
 )
@@ -62,6 +63,8 @@ type Stack struct {
 	listeners map[int]*Listener
 	conns     map[uint32]*Conn
 	nextID    uint32
+	hdrs      *bufpool.Pool // segment-header scratch (returned after gather)
+	segs      *bufpool.Pool // buffered-path segment bodies
 }
 
 // New attaches a socket stack to its service window on a shared endpoint:
@@ -72,6 +75,14 @@ func New(sp *xport.HandlerSpace) *Stack {
 		listeners: make(map[int]*Listener),
 		conns:     make(map[uint32]*Conn),
 		nextID:    1,
+		hdrs:      bufpool.New(0),
+		segs:      bufpool.New(0),
+	}
+	if sp.Poisoned() {
+		// Align the layer's recycled buffers with the engine's poison mode
+		// so the no-retained-aliases guarantee covers socket segments too.
+		s.hdrs.SetPoison(true)
+		s.segs.SetPoison(true)
 	}
 	sp.Register(sockHandlerID, s.handler)
 	return s
@@ -89,6 +100,12 @@ func NewStack(t xport.Transport) *Stack {
 
 // Node reports the stack's node ID.
 func (s *Stack) Node() int { return s.t.Node() }
+
+// PoolStats reports the recycling counters (incl. high-water marks) of the
+// stack's header-scratch and segment-body pools.
+func (s *Stack) PoolStats() (hdrs, segs bufpool.Stats) {
+	return s.hdrs.Stats(), s.segs.Stats()
+}
 
 // Listener accepts inbound connections on a port.
 type Listener struct {
@@ -149,7 +166,7 @@ type Conn struct {
 	port     int
 	state    connState
 
-	rxq      [][]byte // buffered segments (pool path)
+	rxq      bufpool.Queue[rxSeg] // buffered segments (pool path)
 	rxBytes  int
 	posted   []byte // outstanding Read buffer (receive posting)
 	postedN  int    // bytes landed in posted so far
@@ -190,7 +207,9 @@ func (c *Conn) Write(p *sim.Proc, data []byte) (int, error) {
 			n = MaxSegment
 		}
 		hdr := c.s.encode(kindDATA, c.port, c.localID, c.peerID)
-		if err := xport.SendGather(p, c.s.t, c.peerNode, sockHandlerID, hdr, data[sent:sent+n]); err != nil {
+		err := xport.SendGather(p, c.s.t, c.peerNode, sockHandlerID, hdr, data[sent:sent+n])
+		c.s.hdrs.Put(hdr) // gathered into the stream; scratch recycles
+		if err != nil {
 			return sent, err
 		}
 		sent += n
@@ -221,7 +240,7 @@ func (c *Conn) Read(p *sim.Proc, buf []byte) (int, error) {
 	// Keep driving progress while a handler is mid-landing into buf:
 	// returning early would hand the caller a buffer a descheduled handler
 	// still writes to.
-	for c.landing || (c.postedN == 0 && !c.rxClosed && len(c.rxq) == 0) {
+	for c.landing || (c.postedN == 0 && !c.rxClosed && c.queued() == 0) {
 		c.s.progress(p, len(buf)+headerSize+16)
 	}
 	c.posted = nil
@@ -234,16 +253,34 @@ func (c *Conn) Read(p *sim.Proc, buf []byte) (int, error) {
 	return 0, io.EOF
 }
 
+// rxSeg is one buffered segment: a pooled body buffer plus a consumption
+// offset. The buffer returns to the stack's pool once fully drained.
+type rxSeg struct {
+	buf []byte
+	off int
+}
+
+// queued reports buffered segments not yet fully drained.
+func (c *Conn) queued() int { return c.rxq.Len() }
+
+// pushSeg buffers one pooled segment body.
+func (c *Conn) pushSeg(buf []byte) { c.rxq.PushBack(rxSeg{buf: buf}) }
+
+// popSeg retires the oldest segment, recycling its buffer.
+func (c *Conn) popSeg() {
+	c.s.segs.Put(c.rxq.Front().buf)
+	c.rxq.PopFront()
+}
+
 // drain copies buffered segments into buf (the pool path's second copy).
 func (c *Conn) drain(p *sim.Proc, buf []byte) int {
 	n := 0
-	for n < len(buf) && len(c.rxq) > 0 {
-		seg := c.rxq[0]
-		m := copy(buf[n:], seg)
-		if m == len(seg) {
-			c.rxq = c.rxq[1:]
-		} else {
-			c.rxq[0] = seg[m:]
+	for n < len(buf) && c.queued() > 0 {
+		seg := c.rxq.Front()
+		m := copy(buf[n:], seg.buf[seg.off:])
+		seg.off += m
+		if seg.off == len(seg.buf) {
+			c.popSeg()
 		}
 		n += m
 		c.rxBytes -= m
@@ -254,7 +291,8 @@ func (c *Conn) drain(p *sim.Proc, buf []byte) int {
 	return n
 }
 
-// Close sends FIN and tears down the local endpoint.
+// Close sends FIN and tears down the local endpoint; undrained segment
+// buffers recycle to the stack's pool.
 func (c *Conn) Close(p *sim.Proc) error {
 	if c.state == stateClosed {
 		return nil
@@ -263,6 +301,10 @@ func (c *Conn) Close(p *sim.Proc) error {
 		c.s.sendCtl(p, c.peerNode, kindFIN, c.port, c.localID, c.peerID)
 	}
 	c.state = stateClosed
+	for c.queued() > 0 {
+		c.popSeg()
+	}
+	c.rxBytes = 0
 	delete(c.s.conns, c.localID)
 	return nil
 }
@@ -278,9 +320,13 @@ func (s *Stack) progress(p *sim.Proc, limit int) {
 	s.t.Extract(p, limit)
 }
 
+// encode fills a pooled header-scratch buffer; the caller returns it to
+// s.hdrs once the transport has gathered it (SendGather/Send copy
+// synchronously, so the scratch is dead when the send call returns).
 func (s *Stack) encode(kind, port int, srcConn, dstConn uint32) []byte {
-	h := make([]byte, headerSize)
+	h := s.hdrs.Get(headerSize)
 	h[0] = byte(kind)
+	h[1] = 0
 	binary.LittleEndian.PutUint16(h[2:], uint16(port))
 	binary.LittleEndian.PutUint32(h[4:], srcConn)
 	binary.LittleEndian.PutUint32(h[8:], dstConn)
@@ -288,7 +334,10 @@ func (s *Stack) encode(kind, port int, srcConn, dstConn uint32) []byte {
 }
 
 func (s *Stack) sendCtl(p *sim.Proc, node, kind, port int, srcConn, dstConn uint32) {
-	if err := xport.Send(p, s.t, node, sockHandlerID, s.encode(kind, port, srcConn, dstConn)); err != nil {
+	hdr := s.encode(kind, port, srcConn, dstConn)
+	err := xport.Send(p, s.t, node, sockHandlerID, hdr)
+	s.hdrs.Put(hdr)
+	if err != nil {
 		panic(fmt.Sprintf("sockfm: control send failed: %v", err))
 	}
 }
@@ -338,7 +387,7 @@ func (s *Stack) handler(p *sim.Proc, str xport.RecvStream) {
 			str.ReceiveDiscard(p, n)
 			return
 		}
-		if c.posted != nil && c.postedN < len(c.posted) && len(c.rxq) == 0 {
+		if c.posted != nil && c.postedN < len(c.posted) && c.queued() == 0 {
 			// Receive posting: payload lands straight in the Read buffer.
 			// Only valid while nothing older waits in the queue, or this
 			// segment would overtake buffered bytes.
@@ -354,9 +403,9 @@ func (s *Stack) handler(p *sim.Proc, str xport.RecvStream) {
 			n -= m
 		}
 		if n > 0 {
-			seg := make([]byte, n)
+			seg := s.segs.Get(n)
 			str.Receive(p, seg)
-			c.rxq = append(c.rxq, seg)
+			c.pushSeg(seg)
 			c.rxBytes += n
 			c.PooledBytes += int64(n)
 		}

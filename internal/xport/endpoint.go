@@ -3,6 +3,7 @@ package xport
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/cluster"
 	"repro/internal/fm1"
 	"repro/internal/fm2"
@@ -186,11 +187,12 @@ func (e *Endpoint) extractFor(p *sim.Proc, caller *HandlerSpace, maxBytes int) i
 // slab, sends share the node's credit windows, and Extract is budget-fair
 // across co-resident services.
 type HandlerSpace struct {
-	ep    *Endpoint
-	name  string
-	base  HandlerID
-	stats ServiceStats
-	snap  []int64 // extractFor scratch (a service is single-threaded)
+	ep     *Endpoint
+	name   string
+	base   HandlerID
+	stats  ServiceStats
+	snap   []int64                         // extractFor scratch (a service is single-threaded)
+	csPool bufpool.FreeList[countedStream] // recycled per-message accounting wrappers
 }
 
 // Service reports the service name this space was registered under.
@@ -216,6 +218,10 @@ func (hs *HandlerSpace) MaxMessage() int { return hs.ep.t.MaxMessage() }
 
 // Register installs a handler under the service-local id. The wire ID is
 // base+id; ids at or above SpaceSize panic, as does a duplicate.
+//
+// The counted-stream wrapper each message is served through recycles when
+// the handler returns (handlers must not retain streams), so per-message
+// accounting allocates nothing in steady state.
 func (hs *HandlerSpace) Register(id HandlerID, fn Handler) {
 	if id >= SpaceSize {
 		panic(fmt.Sprintf("xport: handler id %d outside service %q slab (max %d)",
@@ -223,8 +229,28 @@ func (hs *HandlerSpace) Register(id HandlerID, fn Handler) {
 	}
 	hs.ep.t.Register(hs.base+id, func(p *sim.Proc, s RecvStream) {
 		hs.stats.Msgs++
-		fn(p, &countedStream{s: s, hs: hs})
+		cs := hs.getCounted(s)
+		fn(p, cs)
+		hs.putCounted(cs)
 	})
+}
+
+// getCounted draws a recycled counted-stream wrapper for one handler run.
+// The free list is bounded at bufpool.DefaultCap: one wrapper per
+// concurrently-running handler is live at a time, so a handful suffice.
+func (hs *HandlerSpace) getCounted(s RecvStream) *countedStream {
+	cs := hs.csPool.Get()
+	if cs == nil {
+		cs = &countedStream{hs: hs}
+	}
+	cs.s = s
+	return cs
+}
+
+// putCounted recycles a wrapper once its handler has returned.
+func (hs *HandlerSpace) putCounted(cs *countedStream) {
+	cs.s = nil
+	hs.csPool.Put(cs)
 }
 
 // BeginMessage opens a message toward dst under the service-local handler
@@ -245,6 +271,9 @@ func (hs *HandlerSpace) Extract(p *sim.Proc, maxBytes int) int {
 
 // Packets reports the shared endpoint's cumulative extracted-packet count.
 func (hs *HandlerSpace) Packets() int64 { return hs.ep.t.Packets() }
+
+// Poisoned reports whether the engine's poison-on-recycle debug mode is on.
+func (hs *HandlerSpace) Poisoned() bool { return hs.ep.t.Poisoned() }
 
 // countedStream attributes a message's consumed bytes to its service.
 type countedStream struct {

@@ -3,6 +3,7 @@ package xport
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/cluster"
 	"repro/internal/fm1"
 	"repro/internal/hostmodel"
@@ -16,14 +17,25 @@ import (
 // encapsulation traversal, and receive-side delivery out of FM's staging
 // area. Running a layer over OverFM1 vs OverFM2 therefore reproduces the
 // layering-cost ablation with a single upper-layer code path.
+//
+// The VIRTUAL-TIME tax is charged in full, but the adapter's own wall-clock
+// footprint is pooled: staging buffers and stream records recycle through
+// bounded free lists, so steady-state traffic allocates nothing here.
 type fm1Transport struct {
-	ep *fm1.Endpoint
+	ep        *fm1.Endpoint
+	stage     *bufpool.Pool // send-side assembly buffers
+	ssPool    bufpool.FreeList[fm1SendStream]
+	stagedRcv bufpool.FreeList[stagedStream]
 }
 
 // OverFM1 exposes an FM 1.x endpoint as a Transport through the
 // staging-copy adapter.
 func OverFM1(ep *fm1.Endpoint) Transport {
-	return &fm1Transport{ep: ep}
+	t := &fm1Transport{ep: ep, stage: bufpool.New(0)}
+	if ep.Poisoned() {
+		t.stage.SetPoison(true) // the staging copy is an aliasable recycled buffer too
+	}
+	return t
 }
 
 // AttachFM1 builds FM 1.x transports for every node of the platform.
@@ -50,9 +62,20 @@ func (t *fm1Transport) Extract(p *sim.Proc, maxBytes int) int {
 
 func (t *fm1Transport) Packets() int64 { return t.ep.Stats().PacketsRecvd }
 
+func (t *fm1Transport) Poisoned() bool { return t.ep.Poisoned() }
+
 func (t *fm1Transport) Register(id HandlerID, fn Handler) {
 	t.ep.Register(fm1.HandlerID(id), func(p *sim.Proc, src int, data []byte) {
-		fn(p, &stagedStream{t: t, src: src, data: data, msglen: len(data)})
+		// Stream records recycle: FM 1.x data (and therefore the stream
+		// view of it) is valid only for the duration of the handler call.
+		s := t.stagedRcv.Get()
+		if s == nil {
+			s = &stagedStream{t: t}
+		}
+		s.src, s.data, s.msglen = src, data, len(data)
+		fn(p, s)
+		s.data = nil
+		t.stagedRcv.Put(s)
 	})
 }
 
@@ -60,7 +83,13 @@ func (t *fm1Transport) BeginMessage(p *sim.Proc, dst, size int, h HandlerID) (Se
 	if size < 0 || size > t.ep.MaxMessage() {
 		return nil, fmt.Errorf("xport/fm1: message size %d out of range [0,%d]", size, t.ep.MaxMessage())
 	}
-	return &fm1SendStream{t: t, dst: dst, handler: h, buf: make([]byte, 0, size), total: size}, nil
+	s := t.ssPool.Get()
+	if s == nil {
+		s = &fm1SendStream{t: t}
+	}
+	s.dst, s.handler, s.total, s.closed = dst, h, size, false
+	s.buf = t.stage.GetEmpty(size)
+	return s, nil
 }
 
 // fm1SendStream assembles the gathered pieces into one contiguous message —
@@ -100,7 +129,14 @@ func (s *fm1SendStream) EndMessage(p *sim.Proc) error {
 	s.t.ep.Host().Memcpy(p, len(s.buf))
 	// fm1.Endpoint handles dst == self as a loopback dispatch, with the
 	// same stats and unknown-handler-discard semantics as remote delivery.
-	return s.t.ep.Send(p, s.dst, fm1.HandlerID(s.handler), s.buf)
+	err := s.t.ep.Send(p, s.dst, fm1.HandlerID(s.handler), s.buf)
+	// Send has copied every byte into NIC frames (or dispatched the
+	// loopback), so the staging buffer and stream record recycle here.
+	t := s.t
+	t.stage.Put(s.buf)
+	s.buf = nil
+	t.ssPool.Put(s)
+	return err
 }
 
 // stagedStream presents a fully-staged FM 1.x message through the pull

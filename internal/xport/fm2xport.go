@@ -35,6 +35,8 @@ func (t *fm2Transport) Extract(p *sim.Proc, maxBytes int) int {
 }
 func (t *fm2Transport) Packets() int64 { return t.ep.Stats().PacketsRecvd }
 
+func (t *fm2Transport) Poisoned() bool { return t.ep.Poisoned() }
+
 func (t *fm2Transport) Register(id HandlerID, fn Handler) {
 	// *fm2.RecvStream satisfies RecvStream structurally; only the handler
 	// signature needs bridging.

@@ -89,6 +89,11 @@ type Transport interface {
 	// whose consumption is not yet visible (e.g. one absorbed mid-Receive
 	// by a parked handler).
 	Packets() int64
+	// Poisoned reports whether the engine's poison-on-recycle debug mode is
+	// on. Layers that keep their own recycled buffers (segment bodies,
+	// header scratch, staging) align their pools with it, so the poison
+	// guarantee covers every recycled-aliasing surface, not just frames.
+	Poisoned() bool
 }
 
 // Send transmits buf as a single-piece message over t: the convenience path
