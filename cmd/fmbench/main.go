@@ -15,6 +15,8 @@
 //	fmbench -topo           # fabric zoo: bisection regimes, contention matrix, scaling
 //	fmbench -topo -toporanks 16  # trim the fabric sweep's largest rank count
 //	fmbench -mixed          # co-residency: MPI + sockets + GA sharing each node's endpoint
+//	fmbench -scenario f.json            # run one chaos scenario, report to stdout
+//	fmbench -campaign campaigns/smoke   # run a scenario directory under one seed
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/mpifm"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -41,9 +44,18 @@ func main() {
 		perf        = flag.Bool("perf", false, "run the engine wall-clock suite (events/sec, allocs/op, 512/1024-rank scaling)")
 		perfRanks   = flag.Int("perfranks", 0, "cap the perf suite's rank counts (0 = full sweep incl. 1024)")
 		jsonPath    = flag.String("json", "BENCH_PR5.json", "perf suite: machine-readable output path (empty = don't write)")
+		scenPath    = flag.String("scenario", "", "run one chaos scenario file; report JSON to stdout")
+		campDir     = flag.String("campaign", "", "run every scenario in a directory under one campaign seed")
+		campSeed    = flag.Int64("campaignseed", scenario.DefaultSeed, "campaign seed (also scopes -scenario)")
+		campOut     = flag.String("campaignout", "", "write the campaign report JSON here instead of stdout")
 	)
 	flag.Parse()
 	w := os.Stdout
+
+	if *scenPath != "" || *campDir != "" {
+		runScenarios(*scenPath, *campDir, *campSeed, *campOut)
+		return
+	}
 
 	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives && !*matrix && !*topo && !*mixed && !*perf {
 		flag.Usage()
@@ -132,6 +144,49 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fmbench: perf report: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// runScenarios drives the chaos layer: one scenario file or a whole
+// campaign directory. Exit status is the CI contract — nonzero on any
+// failed assertion, crash, or diagnosed hang that wasn't asserted for.
+func runScenarios(scenPath, campDir string, seed int64, outPath string) {
+	if scenPath != "" {
+		rep, err := scenario.RunFile(scenPath, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(rep.Marshal())
+		if !rep.Passed {
+			os.Exit(1)
+		}
+		return
+	}
+	c, err := scenario.RunCampaign(campDir, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+		os.Exit(2)
+	}
+	out := c.Marshal()
+	if outPath != "" {
+		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+			os.Exit(2)
+		}
+		for _, r := range c.Scenarios {
+			status := "pass"
+			if !r.Passed {
+				status = "FAIL"
+			}
+			fmt.Fprintf(os.Stderr, "  %-20s %-9s %s\n", r.Scenario, r.Outcome, status)
+		}
+	} else {
+		os.Stdout.Write(out)
+	}
+	if !c.Passed {
+		fmt.Fprintf(os.Stderr, "fmbench: campaign failed: %d of %d scenarios\n", c.Failed, c.Total)
+		os.Exit(1)
 	}
 }
 

@@ -46,6 +46,10 @@
 //   - internal/bench      figure/table regeneration, collective scaling,
 //     the layering-efficiency matrix, the contention-aware fabric suite,
 //     and the mixed-workload co-residency suite (fmbench -mixed)
+//   - internal/scenario   the declarative chaos layer: JSON scenario specs
+//     (cluster shape, traffic pattern, seeded fault schedule, assertions),
+//     a virtual-time watchdog that converts hangs into diagnosed reports,
+//     and the campaign runner (fmbench -scenario / -campaign)
 //
 // Every upper layer binds to a HandlerSpace — a service's window onto its
 // node's shared endpoint — so co-resident services cannot collide on
@@ -66,6 +70,28 @@
 //	    (staging copies)   (zero-copy streaming)
 //	          |                  |
 //	      internal/fm1      internal/fm2
+//
+// # Fault model and chaos campaigns
+//
+// FM assumes a reliable, FIFO fabric and has no retransmit or timeout
+// (paper §3.1); the fault layer honors that instead of hiding it. WithFaults
+// applies a deterministic, seeded schedule to the fabric — probabilistic
+// drops and bit-flips, exponential link flaps, outages that may never heal,
+// and slowed links — each link drawing from its own RNG stream derived from
+// the plan seed and the link's name, so fault patterns are decorrelated
+// across links yet bit-identical across runs. Corrupted frames are marked
+// in flight and discarded by the receiving NIC's link-level CRC check
+// before DMA (NICStats.CRCDropped): garbage never reaches the FM engines.
+// A silently dropped data frame leaks the sender's flow-control credit
+// forever — under closed-loop traffic the protocol wedges, by design. The
+// fabric keeps a loss registry by (src, dst, ctrl, cause) with credit-leak
+// accounting (Fabric.LostFrames, LeakedCredits, LostCreditReturns), and
+// internal/scenario's virtual-time watchdog converts the wedge into a
+// machine-readable hang diagnostic: last event time, waiting ranks,
+// per-node ring depths, parked streams, and outstanding credits. Campaigns
+// (directories of scenario files, fmbench -campaign) replay byte-
+// identically under one seed; CI pins the committed smoke campaign against
+// its golden report.
 //
 // # Performance
 //

@@ -28,9 +28,13 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fm1"
+	"repro/internal/fm2"
 	"repro/internal/garr"
 	"repro/internal/hostmodel"
+	"repro/internal/lanai"
 	"repro/internal/mpifm"
+	"repro/internal/netsim"
 	"repro/internal/shmem"
 	"repro/internal/sim"
 	"repro/internal/sockfm"
@@ -72,6 +76,19 @@ type (
 	ShmemNode = shmem.Node
 	// Array is one rank's handle onto a block-distributed global array.
 	Array = garr.Array
+
+	// Fabric is the assembled network, exposed for fault and loss inspection.
+	Fabric = netsim.Network
+	// FaultPlan is a deterministic, seeded fault schedule for the fabric.
+	FaultPlan = netsim.FaultPlan
+	// FaultRule layers fault behavior onto links matched by name glob.
+	FaultRule = netsim.FaultRule
+	// LostFrame is one aggregated loss record from the fabric's registry.
+	LostFrame = netsim.LostFrame
+	// LinkStats counts traffic and faults through one link.
+	LinkStats = netsim.LinkStats
+	// NICStats counts one NIC's activity, including CRC and ring drops.
+	NICStats = lanai.Stats
 )
 
 // MPI receive wildcards, re-exported.
@@ -150,6 +167,8 @@ type config struct {
 	shm     bool
 	gaSize  int
 	custom  []string
+	faults  *netsim.FaultPlan
+	poison  bool
 }
 
 // Option configures a Session under construction.
@@ -196,11 +215,26 @@ func WithService(name string) Option {
 	return func(c *config) { c.custom = append(c.custom, name) }
 }
 
+// WithFaults applies a deterministic fault schedule to the fabric: drops,
+// corruption (dropped by the receiving NIC's CRC check), link flaps,
+// outages, and stragglers, keyed by link-name glob and replayed
+// bit-identically for a fixed plan seed.
+func WithFaults(plan FaultPlan) Option {
+	return func(c *config) { p := plan; c.faults = &p }
+}
+
+// WithPoison turns on poison-on-recycle debugging in the backing engine:
+// every recycled frame and staging buffer is overwritten on release, so any
+// read of lost or recycled payload becomes loudly visible. Wall-clock cost
+// only; virtual-time results are unchanged.
+func WithPoison() Option { return func(c *config) { c.poison = true } }
+
 // Session is an assembled simulation: a cluster, one shared endpoint per
 // node, and the co-resident services attached to each. All methods are for
 // use before Run (setup) or from spawned Procs (steady state).
 type Session struct {
 	k      *sim.Kernel
+	pl     *cluster.Platform
 	eps    []*xport.Endpoint
 	mpi    []*mpifm.Comm
 	socks  []*sockfm.Stack
@@ -240,13 +274,19 @@ func New(opts ...Option) (*Session, error) {
 	if cfg.gen == xport.GenFM1 {
 		ccfg.Profile = hostmodel.Sparc()
 	}
+	ccfg.Faults = cfg.faults
 	pl, err := cluster.TryNew(k, ccfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &Session{
-		k:      k,
-		eps:    xport.AttachEndpoints(pl, xport.EndpointConfig{Gen: cfg.gen}),
+		k:  k,
+		pl: pl,
+		eps: xport.AttachEndpoints(pl, xport.EndpointConfig{
+			Gen: cfg.gen,
+			FM1: fm1.Config{PoisonFrames: cfg.poison},
+			FM2: fm2.Config{PoisonFrames: cfg.poison},
+		}),
 		custom: make(map[string][]*xport.HandlerSpace),
 	}
 
@@ -318,6 +358,17 @@ func (s *Session) Run() error { return s.k.Run() }
 // Endpoint returns a node's shared fabric attachment (per-service stats,
 // raw extraction).
 func (s *Session) Endpoint(node int) *Endpoint { return s.eps[node] }
+
+// Fabric exposes the assembled network: per-link stats, the lost-frame
+// registry, and credit-leak accounting — the surfaces a chaos scenario's
+// watchdog reads to turn a hang into a diagnostic.
+func (s *Session) Fabric() *Fabric { return s.pl.Net }
+
+// NICStats reports a node's NIC counters (CRC drops, ring drops).
+func (s *Session) NICStats(node int) NICStats { return s.pl.NICs[node].Stats() }
+
+// RingDepth reports packets currently waiting in a node's receive ring.
+func (s *Session) RingDepth(node int) int { return s.pl.NICs[node].RingLen() }
 
 // MPI returns a rank's communicator, or nil without WithMPI.
 func (s *Session) MPI(rank int) *Comm {

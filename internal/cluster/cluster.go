@@ -68,6 +68,12 @@ type Config struct {
 	// TorusRows/TorusCols shape the torus switch grid. When zero, the
 	// switch count is factored as close to square as possible.
 	TorusRows, TorusCols int
+
+	// Faults, when non-nil, is a deterministic fault schedule applied to the
+	// assembled fabric (drops, corruption, flaps, outages, stragglers keyed
+	// by link-name glob; see netsim.FaultPlan). Validate checks it; TryNew
+	// applies it after the topology is built.
+	Faults *netsim.FaultPlan
 }
 
 // AutoShape picks a HostsPerSwitch that divides Nodes while keeping at
@@ -216,6 +222,11 @@ func (cfg Config) Validate() error {
 	default:
 		return fmt.Errorf("cluster: unknown topology %d", cfg.Topology)
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -265,6 +276,11 @@ func TryNew(k *sim.Kernel, cfg Config) (*Platform, error) {
 		h := cfg.hostsPerSwitch()
 		rows, cols := torusShape(cfg, cfg.Nodes/h)
 		net = netsim.NewTorus2D(k, rows, cols, h, cfg.Profile.Link, cfg.SwitchDelay)
+	}
+	if cfg.Faults != nil {
+		if err := net.ApplyFaults(*cfg.Faults); err != nil {
+			return nil, err
+		}
 	}
 	pl := &Platform{K: k, Cfg: cfg, Net: net}
 	for i := 0; i < cfg.Nodes; i++ {

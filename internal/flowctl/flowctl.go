@@ -67,6 +67,10 @@ func New(n, self, window, ringSlots int) *Manager {
 // Window reports the effective per-destination window.
 func (m *Manager) Window() int { return m.window }
 
+// Nodes reports the cluster size the manager was built for — the bound
+// engines use to validate source fields before indexing credit state.
+func (m *Manager) Nodes() int { return len(m.avail) }
+
 // Available reports current credits toward dst.
 func (m *Manager) Available(dst int) int { return m.avail[dst] }
 

@@ -81,6 +81,14 @@ type Stats struct {
 	PacketsSent, PacketsRecvd int64
 	BytesSent, BytesRecvd     int64
 	UnknownHandler            int64
+	// Malformed counts structurally invalid frames discarded instead of
+	// trusted (the link CRC keeps wire noise out; this is injected garbage
+	// or a software bug).
+	Malformed int64
+	// Orphaned counts well-formed fragments discarded because an earlier
+	// fragment of their message was lost in flight — reassembly cannot
+	// complete, and FM has no retransmit. Ring credits still return.
+	Orphaned int64
 }
 
 // Endpoint is one node's FM 1.x attachment.
@@ -299,11 +307,18 @@ func (e *Endpoint) drainCtrl() {
 // sending endpoint's header pool.
 func (e *Endpoint) handleCtrl(pkt *netsim.Packet) {
 	frame := pkt.Payload
-	if frame[0] != typeCredit {
-		panic("fm1: non-credit packet on control queue")
+	if len(frame) < headerSize || frame[0] != typeCredit {
+		e.stats.Malformed++
+		pkt.Release()
+		return
 	}
 	src := int(binary.LittleEndian.Uint16(frame[2:]))
 	n := int(binary.LittleEndian.Uint32(frame[8:]))
+	if src == e.node || src >= e.fc.Nodes() || n <= 0 || n > e.fc.Window() {
+		e.stats.Malformed++
+		pkt.Release()
+		return
+	}
 	e.fc.Refill(src, n)
 	pkt.Release()
 }
@@ -364,14 +379,25 @@ func (e *Endpoint) Extract(p *sim.Proc) int {
 // staging copy (multi-packet path).
 func (e *Endpoint) processData(p *sim.Proc, pkt *netsim.Packet) bool {
 	frame := pkt.Payload
-	if frame[0] != typeData {
-		panic("fm1: non-data packet on receive ring")
+	// Structural validation before any field is trusted (the link CRC keeps
+	// corrupted frames out at the NIC; this guards injected garbage). A
+	// frame whose source cannot be validated returns no credit — better one
+	// leaked ring slot than a Refill to a peer that never spent it.
+	if len(frame) < headerSize || frame[0] != typeData {
+		e.stats.Malformed++
+		pkt.Release()
+		return false
 	}
 	flags := frame[1]
 	src := int(binary.LittleEndian.Uint16(frame[2:]))
 	h := HandlerID(binary.LittleEndian.Uint16(frame[4:]))
 	n := int(binary.LittleEndian.Uint16(frame[6:]))
 	total := int(binary.LittleEndian.Uint32(frame[8:]))
+	if src == e.node || src >= e.fc.Nodes() || headerSize+n > len(frame) {
+		e.stats.Malformed++
+		pkt.Release()
+		return false
+	}
 	payload := frame[headerSize : headerSize+n]
 	defer e.returnCredits(p, src)
 
@@ -386,23 +412,49 @@ func (e *Endpoint) processData(p *sim.Proc, pkt *netsim.Packet) bool {
 	// before the handler can run — the copy FM 2.x streams eliminate. The
 	// staging buffer itself comes from a bounded free list.
 	if flags&flagFirst != 0 {
+		if prev := &e.asm[src]; prev.active {
+			// A new message opened while the previous one's tail never
+			// arrived: its closing fragment was lost in flight. Discard the
+			// stale staging buffer — without this the pool buffer leaks and
+			// the two messages' bytes would be spliced together.
+			e.stats.Orphaned++
+			e.asmPool.Put(prev.buf)
+			*prev = assembly{}
+		}
 		e.asm[src] = assembly{buf: e.asmPool.GetEmpty(total), want: total, handler: h, active: true}
 	}
 	a := &e.asm[src]
 	if !a.active {
-		panic(fmt.Sprintf("fm1: continuation fragment from %d with no assembly in progress", src))
+		// Continuation with no assembly open: the message's first fragment
+		// was lost in flight. Unrecoverable — discard, return the credit.
+		e.stats.Orphaned++
+		pkt.Release()
+		return false
 	}
 	if !e.cfg.DisableBufferMgmt {
 		e.h.Memcpy(p, n) // staging copy, charged
 	}
+	if len(a.buf)+n > a.want {
+		// More bytes than the message declared: a middle fragment of the
+		// PREVIOUS attempt survived into this assembly, or lengths lie.
+		// Either way the reassembly is poisoned; drop it whole.
+		e.stats.Orphaned++
+		e.asmPool.Put(a.buf)
+		e.asm[src] = assembly{}
+		pkt.Release()
+		return false
+	}
 	a.buf = append(a.buf, payload...)
 	pkt.Release() // payload is staged; the frame can recycle
 	if flags&flagLast != 0 {
-		if len(a.buf) != a.want {
-			panic(fmt.Sprintf("fm1: reassembled %d bytes, expected %d", len(a.buf), a.want))
-		}
-		buf, handler := a.buf, a.handler
+		buf, handler, want := a.buf, a.handler, a.want
 		e.asm[src] = assembly{}
+		if len(buf) != want {
+			// Short reassembly: a middle fragment was lost in flight.
+			e.stats.Orphaned++
+			e.asmPool.Put(buf)
+			return false
+		}
 		done := e.dispatch(p, src, handler, buf)
 		e.asmPool.Put(buf)
 		return done

@@ -98,6 +98,16 @@ type Stats struct {
 	// stream is discarded).
 	DiscardedBytes int64
 	UnknownHandler int64
+	// Malformed counts structurally invalid frames (bad type, truncated
+	// header, out-of-range source or length) discarded instead of trusted.
+	// The link CRC drops corrupted frames at the NIC, so a nonzero count
+	// here means injected garbage or a software bug — never wire noise.
+	Malformed int64
+	// Orphaned counts well-formed continuation frames whose stream context
+	// was lost because an earlier frame of the message vanished in flight
+	// (drop, CRC, outage). The frame is discarded and its ring credit
+	// returned; the message itself is gone — FM has no retransmit.
+	Orphaned int64
 }
 
 // Endpoint is one node's FM 2.x attachment.
@@ -255,14 +265,23 @@ func (e *Endpoint) drainCtrl() {
 }
 
 // handleCtrl consumes one credit packet and releases its frame back to the
-// sending endpoint's header pool.
+// sending endpoint's header pool. Malformed control frames are counted and
+// discarded: trusting a bad source or count here would corrupt the credit
+// ledger far from the cause.
 func (e *Endpoint) handleCtrl(pkt *netsim.Packet) {
 	frame := pkt.Payload
-	if frame[0] != typeCredit {
-		panic("fm2: non-credit packet on control queue")
+	if len(frame) < headerSize || frame[0] != typeCredit {
+		e.stats.Malformed++
+		pkt.Release()
+		return
 	}
 	src := int(binary.LittleEndian.Uint16(frame[2:]))
 	n := int(binary.LittleEndian.Uint32(frame[10:]))
+	if src == e.node || src >= e.fc.Nodes() || n <= 0 || n > e.fc.Window() {
+		e.stats.Malformed++
+		pkt.Release()
+		return
+	}
 	e.fc.Refill(src, n)
 	pkt.Release()
 }

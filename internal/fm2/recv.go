@@ -286,6 +286,9 @@ func (e *Endpoint) Extract(p *sim.Proc, maxBytes int) int {
 		// Budget accounting happens before processData: the frame may be
 		// consumed and recycled (its Payload rebound) inside the call.
 		pay := len(pkt.Payload) - headerSize
+		if pay < 0 {
+			pay = 0 // truncated garbage; processData discards it
+		}
 		completed += e.processData(p, pkt)
 		e.stats.PacketsRecvd++
 		if maxBytes > 0 {
@@ -304,8 +307,16 @@ func (e *Endpoint) ExtractAll(p *sim.Proc) int { return e.Extract(p, 0) }
 // the handler consumes it) or is released here for frames nothing will read.
 func (e *Endpoint) processData(p *sim.Proc, pkt *netsim.Packet) int {
 	frame := pkt.Payload
-	if frame[0] != typeData {
-		panic("fm2: non-data packet on receive ring")
+	// Structural validation before any field is trusted. The link CRC drops
+	// corrupted frames at the NIC, so nothing malformed arrives from the
+	// wire; this guards against injected garbage without giving it a crash
+	// lever. A frame whose source field cannot be validated returns no
+	// credit — better one leaked ring slot than a Refill to a peer that
+	// never spent it.
+	if len(frame) < headerSize || frame[0] != typeData {
+		e.stats.Malformed++
+		pkt.Release()
+		return 0
 	}
 	flags := frame[1]
 	src := int(binary.LittleEndian.Uint16(frame[2:]))
@@ -313,6 +324,16 @@ func (e *Endpoint) processData(p *sim.Proc, pkt *netsim.Packet) int {
 	h := HandlerID(binary.LittleEndian.Uint16(frame[6:]))
 	n := int(binary.LittleEndian.Uint16(frame[8:]))
 	total := int(binary.LittleEndian.Uint32(frame[10:]))
+	if src == e.node || src >= e.fc.Nodes() {
+		e.stats.Malformed++
+		pkt.Release()
+		return 0
+	}
+	if headerSize+n > len(frame) {
+		e.stats.Malformed++
+		pkt.Release()
+		return 0
+	}
 	payload := frame[headerSize : headerSize+n]
 	defer e.returnCredits(p, src)
 
@@ -320,7 +341,14 @@ func (e *Endpoint) processData(p *sim.Proc, pkt *netsim.Packet) int {
 	rs := e.active[k]
 	if rs == nil {
 		if flags&flagFirst == 0 {
-			panic(fmt.Sprintf("fm2: continuation packet for unknown stream (src %d, msg %d)", src, msgid))
+			// Continuation of a stream we never saw open: the message's
+			// first frame was lost in flight (drop, CRC, outage). The
+			// message is unrecoverable — FM has no retransmit — so the
+			// frame is discarded; its ring credit still returns (the
+			// deferred returnCredits), keeping the sender's window honest.
+			e.stats.Orphaned++
+			pkt.Release()
+			return 0
 		}
 		fn, ok := e.handlers[h]
 		if !ok {

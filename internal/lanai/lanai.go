@@ -42,6 +42,7 @@ type Stats struct {
 	Received    int64
 	CtrlRecv    int64
 	RingDropped int64
+	CRCDropped  int64 // frames discarded by the link-level CRC check
 }
 
 // NIC is one node's network interface.
@@ -93,6 +94,18 @@ func (n *NIC) recvFirmware(p *sim.Proc) {
 	for {
 		pkt := n.Ifc.In.Recv(p)
 		p.Delay(n.H.P.NICRecvPacket)
+		if pkt.Corrupt {
+			// Link-level CRC check (paper §3.1): Myrinet computes a CRC per
+			// link, so a frame corrupted in flight is discarded here, before
+			// any DMA — FM never sees it, and its reliability argument holds
+			// without per-message checksums. A lost DATA frame still leaks the
+			// flow-control credit its sender spent; the fabric's loss registry
+			// records that for hang diagnostics.
+			n.stats.CRCDropped++
+			n.Ifc.NoteLost(pkt, netsim.LossCRC)
+			pkt.Release()
+			continue
+		}
 		if n.cfg.ChargeBus {
 			n.H.BusTransfer(p, len(pkt.Payload)) // DMA into the ring
 		}
@@ -113,6 +126,7 @@ func (n *NIC) recvFirmware(p *sim.Proc) {
 				n.stats.Received++
 			} else {
 				n.stats.RingDropped++
+				n.Ifc.NoteLost(pkt, netsim.LossRingFull)
 				pkt.Release() // dropped frame goes straight back to its pool
 			}
 		}

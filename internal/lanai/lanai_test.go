@@ -101,6 +101,47 @@ func TestRingDropPolicyCountsDrops(t *testing.T) {
 	}
 }
 
+func TestCRCCheckDropsCorruptedFrames(t *testing.T) {
+	// Every frame corrupted in flight must be discarded by the receiving
+	// NIC's CRC check — never landed in the ring — and registered as a lost
+	// frame (a leaked credit, from the flow-control layer's point of view).
+	k := sim.NewKernel()
+	prof := hostmodel.PPro200()
+	link := prof.Link
+	link.CorruptProb = 1.0
+	link.Seed = 11
+	net := netsim.NewDirectPair(k, link)
+	nics := make([]*NIC, 2)
+	for i := 0; i < 2; i++ {
+		h := hostmodel.NewHost(k, i, prof)
+		nics[i] = New(h, net.Iface(i), DefaultConfig())
+		nics[i].Start()
+	}
+	const total = 10
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < total; i++ {
+			nics[0].HostSend(p, 1, []byte{byte(i), 0xAA}, false)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := nics[1].Stats()
+	if st.CRCDropped != total || st.Received != 0 {
+		t.Fatalf("want all %d frames CRC-dropped, got %+v", total, st)
+	}
+	if nics[1].RingLen() != 0 {
+		t.Fatal("corrupted frame reached the receive ring")
+	}
+	if leak := net.LeakedCredits(0, 1); leak != total {
+		t.Fatalf("leaked credits %d, want %d", leak, total)
+	}
+	lost := net.LostFrames()
+	if len(lost) != 1 || lost[0].Cause != "crc" || lost[0].Count != total {
+		t.Fatalf("loss registry %+v", lost)
+	}
+}
+
 func TestRingStallBackpressuresWire(t *testing.T) {
 	k, nics := pair(DefaultConfig()) // RingStall
 	total := nics[1].RingSlots() + 20

@@ -24,6 +24,7 @@ type Packet struct {
 	Route    []uint8 // remaining hops
 	Payload  []byte
 	Ctrl     bool     // control packet: receiving NICs demux it to a dedicated queue
+	Corrupt  bool     // failed the link CRC in flight; receiving NICs drop it
 	Inject   sim.Time // time the packet entered the fabric
 	Seq      uint64   // injection sequence number (diagnostics)
 
@@ -62,11 +63,12 @@ func DefaultMyrinet() LinkConfig {
 
 // LinkStats counts traffic through a link.
 type LinkStats struct {
-	Packets   int64
-	Bytes     int64 // payload bytes
-	WireBytes int64 // payload + framing
-	Dropped   int64
-	Corrupted int64
+	Packets     int64
+	Bytes       int64 // payload bytes
+	WireBytes   int64 // payload + framing
+	Dropped     int64 // probabilistic per-packet drops
+	Corrupted   int64 // frames bit-flipped in flight (dropped later by NIC CRC)
+	DownDropped int64 // frames sent into an outage window (flap/death/partition)
 }
 
 // Link is a unidirectional wire from one element to the input queue of the
@@ -77,8 +79,8 @@ type Link struct {
 	cfg    LinkConfig
 	xmit   *sim.Resource
 	dst    *sim.Chan[*Packet]
-	faulty bool // either fault probability nonzero
-	rng    *rand.Rand
+	net    *Network // owning fabric (loss registry); nil for standalone links
+	faults *linkFaults
 	stats  LinkStats
 }
 
@@ -87,13 +89,25 @@ func NewLink(k *sim.Kernel, name string, cfg LinkConfig, dst *sim.Chan[*Packet])
 	if cfg.Slots < 1 {
 		cfg.Slots = 1
 	}
-	return &Link{
-		name:   name,
-		cfg:    cfg,
-		xmit:   sim.NewResource(k, "link:"+name, 1),
-		dst:    dst,
-		faulty: cfg.DropProb > 0 || cfg.CorruptProb > 0,
+	l := &Link{
+		name: name,
+		cfg:  cfg,
+		xmit: sim.NewResource(k, "link:"+name, 1),
+		dst:  dst,
 	}
+	if cfg.DropProb > 0 || cfg.CorruptProb > 0 {
+		f := l.ensureFaults()
+		f.drop, f.corrupt, f.seed = cfg.DropProb, cfg.CorruptProb, cfg.Seed
+	}
+	return l
+}
+
+// ensureFaults returns the link's fault state, creating it on demand.
+func (l *Link) ensureFaults() *linkFaults {
+	if l.faults == nil {
+		l.faults = &linkFaults{seed: l.cfg.Seed}
+	}
+	return l.faults
 }
 
 // Send transmits pkt. The calling Proc is charged serialization and
@@ -101,30 +115,51 @@ func NewLink(k *sim.Kernel, name string, cfg LinkConfig, dst *sim.Chan[*Packet])
 func (l *Link) Send(p *sim.Proc, pkt *Packet) {
 	l.xmit.Acquire(p, 1)
 	wire := pkt.Size() + l.cfg.FrameOverhead
-	p.Delay(sim.BytesTime(wire, l.cfg.BandwidthMBps) + l.cfg.PropDelay)
+	delay := sim.BytesTime(wire, l.cfg.BandwidthMBps) + l.cfg.PropDelay
+	f := l.faults
+	if f != nil && f.slow > 1 {
+		// Straggler link/NIC: serialization and propagation both degrade.
+		delay = sim.Time(float64(delay) * f.slow)
+	}
+	p.Delay(delay)
 	l.stats.Packets++
 	l.stats.Bytes += int64(pkt.Size())
 	l.stats.WireBytes += int64(wire)
-	if l.faulty {
-		// The fault-injection RNG is built lazily on first use: the default
-		// profiles (both probabilities zero) never touch this branch and pay
-		// nothing — not even the RNG's construction — for fault plumbing.
-		if l.rng == nil {
-			l.rng = rand.New(rand.NewSource(l.cfg.Seed))
-		}
-		if l.rng.Float64() < l.cfg.DropProb {
-			l.stats.Dropped++
+	if f != nil {
+		if f.inDown(p.Now()) {
+			// The link is inside an outage window: the frame vanishes on the
+			// dead wire. (A real Myrinet sender would eventually see the
+			// back-pressure deadman fire; FM treats either as frame loss.)
+			l.stats.DownDropped++
+			l.net.noteLost(pkt, LossLinkDown)
 			l.xmit.Release(1)
-			pkt.Release() // a dropped frame goes back to its sender's pool
+			pkt.Release()
 			return
 		}
-		if l.rng.Float64() < l.cfg.CorruptProb && len(pkt.Payload) > 0 {
-			// Flip one bit in place. The frame is owned by the fabric at this
-			// point — senders hand ownership to the NIC — so no other reader
-			// can observe the flip before the receiver does.
-			i := l.rng.Intn(len(pkt.Payload))
-			pkt.Payload[i] ^= 1 << uint(l.rng.Intn(8))
-			l.stats.Corrupted++
+		if f.drop > 0 || f.corrupt > 0 {
+			// The fault RNG is built lazily on first use and seeded from
+			// (seed, link name), so links sharing one config draw
+			// uncorrelated sequences while the run stays deterministic.
+			if f.rng == nil {
+				f.rng = rand.New(rand.NewSource(linkSeed(f.seed, l.name)))
+			}
+			if f.drop > 0 && f.rng.Float64() < f.drop {
+				l.stats.Dropped++
+				l.net.noteLost(pkt, LossLinkDrop)
+				l.xmit.Release(1)
+				pkt.Release() // a dropped frame goes back to its sender's pool
+				return
+			}
+			if f.corrupt > 0 && f.rng.Float64() < f.corrupt && len(pkt.Payload) > 0 {
+				// Flip one bit in place and mark the frame as failing the
+				// link CRC. The frame is owned by the fabric at this point —
+				// senders hand ownership to the NIC — so no other reader can
+				// observe the flip before the receiving NIC discards it.
+				i := f.rng.Intn(len(pkt.Payload))
+				pkt.Payload[i] ^= 1 << uint(f.rng.Intn(8))
+				pkt.Corrupt = true
+				l.stats.Corrupted++
+			}
 		}
 	}
 	// Holding xmit while the downstream queue is full propagates stalls

@@ -97,6 +97,7 @@ func (fp *FramePool) Get(n int) *Packet {
 	pkt.Payload = pkt.backing[:n]
 	pkt.Route = nil
 	pkt.Ctrl = false
+	pkt.Corrupt = false
 	return pkt
 }
 

@@ -50,6 +50,7 @@ type Network struct {
 	routes [][][]uint8 // routes[src][dst]
 	links  []*Link
 	desc   string
+	lost   map[lostKey]int64 // per-flow lost-frame registry (see faults.go)
 }
 
 // Nodes reports the number of attached nodes.
@@ -75,6 +76,7 @@ func (n *Network) Links() []*Link { return n.links }
 func (n *Network) Describe() string { return n.desc }
 
 func (n *Network) addLink(l *Link) *Link {
+	l.net = n
 	n.links = append(n.links, l)
 	return l
 }

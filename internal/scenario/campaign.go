@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DefaultSeed is the campaign seed used when none is given — and the seed
+// the committed golden reports are generated under.
+const DefaultSeed = 1998 // the paper's year
+
+// GoldenName is the campaign report file committed next to the scenarios;
+// the runner skips it when collecting specs and CI diffs fresh output
+// against it.
+const GoldenName = "golden.json"
+
+// Campaign is the machine-readable result of running every scenario in a
+// directory under one seed. Like Report, it marshals to identical bytes for
+// identical seeds.
+type Campaign struct {
+	Seed      int64    `json:"seed"`
+	Scenarios []Report `json:"scenarios"`
+	Total     int      `json:"total"`
+	Failed    int      `json:"failed"`
+	Passed    bool     `json:"passed"`
+}
+
+// Marshal renders the campaign result as indented JSON with a trailing
+// newline — the exact bytes the golden file holds.
+func (c *Campaign) Marshal() []byte {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		panic(err) // only marshalable fields
+	}
+	return append(b, '\n')
+}
+
+// RunFile loads one scenario file and runs it under the campaign seed.
+func RunFile(path string, campaignSeed int64) (Report, error) {
+	spec, err := LoadSpec(path)
+	if err != nil {
+		return Report{}, err
+	}
+	return Run(spec, campaignSeed), nil
+}
+
+// RunCampaign runs every *.json scenario in dir (sorted by filename,
+// skipping the golden report) under one campaign seed. A malformed scenario
+// file is a hard error — a chaos campaign that silently skips scenarios is
+// worse than one that fails loudly.
+func RunCampaign(dir string, seed int64) (*Campaign, error) {
+	entries, err := os.ReadDir(dir) // sorted by filename
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{Seed: seed}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || name == GoldenName {
+			continue
+		}
+		spec, err := LoadSpec(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		rep := Run(spec, seed)
+		c.Scenarios = append(c.Scenarios, rep)
+		c.Total++
+		if !rep.Passed {
+			c.Failed++
+		}
+	}
+	if c.Total == 0 {
+		return nil, fmt.Errorf("scenario: no scenario files in %s", dir)
+	}
+	c.Passed = c.Failed == 0
+	return c, nil
+}

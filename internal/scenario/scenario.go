@@ -1,0 +1,230 @@
+// Package scenario is the declarative chaos layer of the reproduction: a
+// scenario file describes a cluster shape, a service mix over the public
+// fmnet Session façade, a traffic pattern, a seeded fault schedule, and
+// pass/fail assertions — and the runner turns it into a deterministic
+// simulation with a machine-readable report. New failure modes become data,
+// not code: a campaign is a directory of scenario files replayed
+// bit-identically from one campaign seed.
+//
+// The runner's virtual-time watchdog converts what used to be the worst
+// failure mode — a silent hang when a dropped data frame leaks a
+// flow-control credit — into a failed-with-diagnostic result carrying the
+// last event time, per-link loss and credit-leak accounting, and per-node
+// queue depths. FM assumes a reliable fabric and has no retransmit (paper
+// §3.1), so under injected loss a hang is the EXPECTED protocol behavior;
+// scenarios assert on it with `"outcome": "watchdog"`.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	fmnet "repro"
+)
+
+// Traffic describes the offered load of a scenario.
+type Traffic struct {
+	// Pattern is one of:
+	//   ring     — rank r sends to (r+1) mod n, expects from (r-1) mod n
+	//   pairs    — rank r exchanges with r XOR 1
+	//   alltoall — every rank sends to every other rank
+	//   incast   — every rank sends to rank 0
+	//   allreduce— MPI Allreduce rounds over the attached MPI service
+	Pattern string `json:"pattern"`
+	// Messages is the per-sender message count (rounds, for allreduce).
+	Messages int `json:"messages"`
+	// Size is the per-message payload size in bytes.
+	Size int `json:"size"`
+	// OpenLoop sends without waiting for receive completion, then drains
+	// until the drain window closes. Closed-loop (the default) waits for
+	// every expected message — under loss it hangs by design, and the
+	// watchdog turns the hang into a diagnostic.
+	OpenLoop bool `json:"open_loop,omitempty"`
+	// DrainMS is the open-loop drain window in virtual milliseconds after a
+	// rank's last send (default 5).
+	DrainMS float64 `json:"drain_ms,omitempty"`
+}
+
+// Fault is one fault rule in scenario-file form: link-name glob plus the
+// fault fields, with times in virtual milliseconds. It converts 1:1 to a
+// netsim.FaultRule.
+type Fault struct {
+	Links       string  `json:"links"`
+	DropProb    float64 `json:"drop_prob,omitempty"`
+	CorruptProb float64 `json:"corrupt_prob,omitempty"`
+	FlapUpMS    float64 `json:"flap_up_ms,omitempty"`
+	FlapDownMS  float64 `json:"flap_down_ms,omitempty"`
+	DownFromMS  float64 `json:"down_from_ms,omitempty"`
+	// DownUntilMS of 0 with DownFromMS > 0 means the link never heals.
+	DownUntilMS float64 `json:"down_until_ms,omitempty"`
+	SlowFactor  float64 `json:"slow_factor,omitempty"`
+}
+
+// Assert is the scenario's pass/fail contract, checked after the run.
+// Zero-valued fields are not checked.
+type Assert struct {
+	// Outcome is "complete" (default: every rank finished before the
+	// watchdog) or "watchdog" (the run was expected to hang).
+	Outcome string `json:"outcome,omitempty"`
+	// AllDelivered requires every sent message to have been received.
+	AllDelivered bool `json:"all_delivered,omitempty"`
+	// MinDelivered bounds the received message count from below.
+	MinDelivered int64 `json:"min_delivered,omitempty"`
+	// Loss-accounting floors, against the fabric/NIC counters.
+	MinDropped       int64 `json:"min_dropped,omitempty"`
+	MinCRCDropped    int64 `json:"min_crc_dropped,omitempty"`
+	MinDownDropped   int64 `json:"min_down_dropped,omitempty"`
+	MinLeakedCredits int64 `json:"min_leaked_credits,omitempty"`
+	// ZeroLoss requires a clean fabric: no drops, corruption, or leaks.
+	ZeroLoss bool `json:"zero_loss,omitempty"`
+}
+
+// Spec is one declarative scenario.
+type Spec struct {
+	Name  string `json:"name"`
+	Notes string `json:"notes,omitempty"`
+
+	// Cluster shape.
+	Nodes    int    `json:"nodes"`
+	Topology string `json:"topology,omitempty"` // single|pair|line|fattree|torus (default single)
+	FM       int    `json:"fm,omitempty"`       // 1 or 2 (default 2)
+	Poison   bool   `json:"poison,omitempty"`   // poison-on-recycle debug mode
+
+	Traffic Traffic `json:"traffic"`
+	Faults  []Fault `json:"faults,omitempty"`
+
+	// WatchdogMS is the virtual-time budget: a run still incomplete when the
+	// clock reaches it is declared hung and diagnosed (default 50).
+	WatchdogMS float64 `json:"watchdog_ms,omitempty"`
+
+	Assert Assert `json:"assert"`
+}
+
+// DefaultWatchdogMS is the virtual-time budget when the spec sets none.
+const DefaultWatchdogMS = 50
+
+// knownPatterns names the traffic drivers.
+var knownPatterns = map[string]bool{
+	"ring": true, "pairs": true, "alltoall": true, "incast": true, "allreduce": true,
+}
+
+// topo maps the scenario-file topology names onto fmnet.
+func (s *Spec) topo() (fmnet.Topo, error) {
+	switch s.Topology {
+	case "", "single":
+		return fmnet.SingleSwitch, nil
+	case "pair":
+		return fmnet.Pair, nil
+	case "line":
+		return fmnet.Line, nil
+	case "fattree":
+		return fmnet.FatTree, nil
+	case "torus":
+		return fmnet.Torus, nil
+	}
+	return 0, fmt.Errorf("scenario %s: unknown topology %q", s.Name, s.Topology)
+}
+
+// Validate checks the spec without building anything.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if s.Nodes < 2 {
+		return fmt.Errorf("scenario %s: need at least 2 nodes", s.Name)
+	}
+	if _, err := s.topo(); err != nil {
+		return err
+	}
+	if s.FM != 0 && s.FM != 1 && s.FM != 2 {
+		return fmt.Errorf("scenario %s: fm must be 1 or 2, not %d", s.Name, s.FM)
+	}
+	if !knownPatterns[s.Traffic.Pattern] {
+		return fmt.Errorf("scenario %s: unknown traffic pattern %q", s.Name, s.Traffic.Pattern)
+	}
+	if s.Traffic.Messages <= 0 {
+		return fmt.Errorf("scenario %s: traffic needs messages > 0", s.Name)
+	}
+	if s.Traffic.Size <= 0 {
+		return fmt.Errorf("scenario %s: traffic needs size > 0", s.Name)
+	}
+	if s.WatchdogMS < 0 || s.Traffic.DrainMS < 0 {
+		return fmt.Errorf("scenario %s: negative time budget", s.Name)
+	}
+	switch s.Assert.Outcome {
+	case "", OutcomeComplete, OutcomeWatchdog:
+	default:
+		return fmt.Errorf("scenario %s: assert.outcome must be %q or %q", s.Name, OutcomeComplete, OutcomeWatchdog)
+	}
+	if fp := s.faultPlan(0); fp != nil {
+		if err := fp.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %v", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// msTime converts scenario-file milliseconds to virtual time.
+func msTime(ms float64) fmnet.Time { return fmnet.Time(ms * float64(fmnet.Millisecond)) }
+
+// watchdog resolves the virtual-time budget.
+func (s *Spec) watchdog() fmnet.Time {
+	ms := s.WatchdogMS
+	if ms == 0 {
+		ms = DefaultWatchdogMS
+	}
+	return msTime(ms)
+}
+
+// faultPlan converts the spec's fault rules into a netsim plan seeded for
+// this run. Returns nil when the scenario injects no faults.
+func (s *Spec) faultPlan(seed int64) *fmnet.FaultPlan {
+	if len(s.Faults) == 0 {
+		return nil
+	}
+	plan := &fmnet.FaultPlan{Seed: seed, Horizon: s.watchdog()}
+	for _, f := range s.Faults {
+		plan.Rules = append(plan.Rules, fmnet.FaultRule{
+			Links:        f.Links,
+			DropProb:     f.DropProb,
+			CorruptProb:  f.CorruptProb,
+			FlapMeanUp:   msTime(f.FlapUpMS),
+			FlapMeanDown: msTime(f.FlapDownMS),
+			DownFrom:     msTime(f.DownFromMS),
+			DownUntil:    msTime(f.DownUntilMS),
+			SlowFactor:   f.SlowFactor,
+		})
+	}
+	return plan
+}
+
+// ScenarioSeed derives the per-scenario fault seed from the campaign seed
+// and the scenario name, so every scenario of a campaign draws an
+// uncorrelated (but reproducible) schedule.
+func ScenarioSeed(campaignSeed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte("scenario:" + name))
+	return campaignSeed ^ int64(h.Sum64())
+}
+
+// LoadSpec reads and validates one scenario file. Unknown fields are
+// rejected: a typoed assertion silently not checked is worse than an error.
+func LoadSpec(path string) (Spec, error) {
+	var s Spec
+	f, err := os.Open(path)
+	if err != nil {
+		return s, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("scenario %s: %v", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, fmt.Errorf("%s: %v", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,275 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// cleanRing is a no-fault baseline: closed-loop ring traffic that must
+// complete with a clean fabric.
+func cleanRing(fm int) Spec {
+	return Spec{
+		Name:    "clean-ring",
+		Nodes:   4,
+		FM:      fm,
+		Traffic: Traffic{Pattern: "ring", Messages: 8, Size: 2048},
+		Assert:  Assert{Outcome: OutcomeComplete, AllDelivered: true, ZeroLoss: true},
+	}
+}
+
+func TestCleanScenarioCompletes(t *testing.T) {
+	for _, fm := range []int{1, 2} {
+		rep := Run(cleanRing(fm), 42)
+		if !rep.Passed {
+			t.Fatalf("fm%d: clean ring failed: %v", fm, rep.Failures)
+		}
+		if rep.Outcome != OutcomeComplete {
+			t.Fatalf("fm%d: outcome %q", fm, rep.Outcome)
+		}
+		if rep.MsgsRecvd != rep.MsgsExpected || rep.MsgsExpected == 0 {
+			t.Fatalf("fm%d: delivered %d of %d", fm, rep.MsgsRecvd, rep.MsgsExpected)
+		}
+		if rep.Hang != nil {
+			t.Fatalf("fm%d: hang diagnostic on a completed run", fm)
+		}
+	}
+}
+
+// TestDropScenarioWatchdogs pins the ISSUE's headline bugfix: a lossy
+// fabric under closed-loop traffic used to hang the harness forever; now
+// the watchdog converts it into a failed-with-diagnostic report carrying
+// the credit-leak accounting.
+func TestDropScenarioWatchdogs(t *testing.T) {
+	spec := Spec{
+		Name:       "drop-hang",
+		Nodes:      4,
+		Traffic:    Traffic{Pattern: "ring", Messages: 50, Size: 4096},
+		Faults:     []Fault{{Links: "n*->sw", DropProb: 0.08}},
+		WatchdogMS: 20,
+		Assert:     Assert{Outcome: OutcomeWatchdog, MinLeakedCredits: 1},
+	}
+	rep := Run(spec, 7)
+	if rep.Outcome != OutcomeWatchdog {
+		t.Fatalf("outcome %q, want watchdog (report: %+v)", rep.Outcome, rep)
+	}
+	if !rep.Passed {
+		t.Fatalf("watchdog scenario should pass its own assertions: %v", rep.Failures)
+	}
+	if rep.LeakedCredits == 0 {
+		t.Fatal("expected leaked credits under drops")
+	}
+	d := rep.Hang
+	if d == nil {
+		t.Fatal("watchdog outcome must carry a hang diagnostic")
+	}
+	if len(d.WaitingRanks) == 0 {
+		t.Fatal("hang diagnostic lists no waiting ranks")
+	}
+	if d.LastEventNS <= 0 {
+		t.Fatal("hang diagnostic has no last event time")
+	}
+	leaked := int64(0)
+	for _, nd := range d.PerNode {
+		leaked += nd.LeakedAsSender
+	}
+	if leaked != rep.LeakedCredits {
+		t.Fatalf("per-node leak accounting %d != fabric total %d", leaked, rep.LeakedCredits)
+	}
+	if len(rep.Lost) == 0 {
+		t.Fatal("loss registry empty despite drops")
+	}
+}
+
+// TestCorruptScenarioCRCDropsWithoutCrash pins the CRC bugfix: corrupted
+// frames used to reach the FM engines and panic them; now the NIC drops
+// them with accounting and the run finishes.
+func TestCorruptScenarioCRCDropsWithoutCrash(t *testing.T) {
+	for _, fm := range []int{1, 2} {
+		// A must-complete scenario under corruption keeps each pair's total
+		// traffic within one credit window (FM1: 16 packets), so Send never
+		// blocks on a credit return — which corruption may destroy (a
+		// CRC-dropped credit frame starves the sender forever; that variant
+		// is what the watchdog scenarios exercise).
+		spec := Spec{
+			Name:    "corrupt-openloop",
+			Nodes:   4,
+			FM:      fm,
+			Poison:  true,
+			Traffic: Traffic{Pattern: "alltoall", Messages: 4, Size: 256, OpenLoop: true},
+			Faults:  []Fault{{Links: "*", CorruptProb: 0.05}},
+			Assert:  Assert{Outcome: OutcomeComplete, MinCRCDropped: 1},
+		}
+		rep := Run(spec, 13)
+		if rep.Outcome == OutcomePanic {
+			t.Fatalf("fm%d: corruption crashed the run: %v", fm, rep.Failures)
+		}
+		if !rep.Passed {
+			t.Fatalf("fm%d: corrupt scenario failed: %v (outcome %s)", fm, rep.Failures, rep.Outcome)
+		}
+		if rep.CRCDropped == 0 {
+			t.Fatalf("fm%d: no CRC drops at 5%% corruption", fm)
+		}
+	}
+}
+
+// TestChaosDeterminism is the campaign-seed contract from the ISSUE: the
+// same seed must reproduce bit-identical reports — virtual time, event
+// count, and every per-link fault counter — across runs, on both FM
+// bindings, with poison-on-recycle on, under -race.
+func TestChaosDeterminism(t *testing.T) {
+	for _, fm := range []int{1, 2} {
+		spec := Spec{
+			Name:   "chaos-determinism",
+			Nodes:  6,
+			FM:     fm,
+			Poison: true,
+			Traffic: Traffic{
+				Pattern: "alltoall", Messages: 10, Size: 4096, OpenLoop: true, DrainMS: 2,
+			},
+			Faults: []Fault{
+				{Links: "n*->sw", DropProb: 0.03, CorruptProb: 0.03},
+				{Links: "sw->n*", FlapUpMS: 4, FlapDownMS: 0.3},
+			},
+			WatchdogMS: 30,
+		}
+		a := Run(spec, 99)
+		b := Run(spec, 99)
+		ab, bb := a.Marshal(), b.Marshal()
+		if !bytes.Equal(ab, bb) {
+			t.Fatalf("fm%d: same seed, different reports:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", fm, ab, bb)
+		}
+		if a.Dropped+a.Corrupted+a.DownDropped == 0 {
+			t.Fatalf("fm%d: chaos scenario injected no faults", fm)
+		}
+		c := Run(spec, 100)
+		if bytes.Equal(ab, c.Marshal()) {
+			t.Fatalf("fm%d: different seeds produced identical reports", fm)
+		}
+	}
+}
+
+func TestAllreducePatternRuns(t *testing.T) {
+	spec := Spec{
+		Name:    "allreduce-clean",
+		Nodes:   4,
+		Traffic: Traffic{Pattern: "allreduce", Messages: 5, Size: 64},
+		Assert:  Assert{Outcome: OutcomeComplete, AllDelivered: true, ZeroLoss: true},
+	}
+	rep := Run(spec, 21)
+	if !rep.Passed {
+		t.Fatalf("allreduce failed: %v (outcome %s)", rep.Failures, rep.Outcome)
+	}
+}
+
+func TestScenarioSeedDecorrelatesNames(t *testing.T) {
+	if ScenarioSeed(5, "a") == ScenarioSeed(5, "b") {
+		t.Fatal("different scenario names share a seed")
+	}
+	if ScenarioSeed(5, "a") != ScenarioSeed(5, "a") {
+		t.Fatal("scenario seed not stable")
+	}
+}
+
+func TestSpecValidateRejectsGarbage(t *testing.T) {
+	bad := []Spec{
+		{Name: "", Nodes: 4, Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 1}},
+		{Name: "x", Nodes: 1, Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 1}},
+		{Name: "x", Nodes: 4, Topology: "moebius", Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 1}},
+		{Name: "x", Nodes: 4, FM: 3, Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 1}},
+		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "gossip", Messages: 1, Size: 1}},
+		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "ring", Messages: 0, Size: 1}},
+		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 0}},
+		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 1}, Assert: Assert{Outcome: "maybe"}},
+		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 1}, Faults: []Fault{{Links: "*", DropProb: 1.5}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %d validated", i)
+		}
+	}
+	good := cleanRing(2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+}
+
+func TestCampaignRunsDirectoryDeterministically(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("10-clean.json", `{
+  "name": "clean", "nodes": 3,
+  "traffic": {"pattern": "ring", "messages": 4, "size": 1024},
+  "assert": {"outcome": "complete", "all_delivered": true, "zero_loss": true}
+}`)
+	write("20-drop.json", `{
+  "name": "drop", "nodes": 3, "watchdog_ms": 10,
+  "traffic": {"pattern": "ring", "messages": 40, "size": 4096},
+  "faults": [{"links": "*", "drop_prob": 0.1}],
+  "assert": {"outcome": "watchdog", "min_leaked_credits": 1}
+}`)
+	write(GoldenName, `{"this must be skipped, not parsed": true}`)
+	write("notes.txt", "not a scenario")
+
+	c1, err := RunCampaign(dir, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Total != 2 {
+		t.Fatalf("ran %d scenarios, want 2", c1.Total)
+	}
+	if !c1.Passed {
+		t.Fatalf("campaign failed: %+v", c1)
+	}
+	c2, err := RunCampaign(dir, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Marshal(), c2.Marshal()) {
+		t.Fatal("same campaign seed, different campaign bytes")
+	}
+}
+
+// TestSmokeCampaignMatchesGolden replays the committed campaign under the
+// default seed and diffs the bytes against the committed golden report —
+// the same contract the CI scenario-smoke job enforces. Regenerate with:
+//
+//	go run ./cmd/fmbench -campaign campaigns/smoke -campaignout campaigns/smoke/golden.json
+func TestSmokeCampaignMatchesGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "campaigns", "smoke")
+	golden, err := os.ReadFile(filepath.Join(dir, GoldenName))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	c, err := RunCampaign(dir, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Passed {
+		t.Fatalf("smoke campaign failed: %d of %d scenarios", c.Failed, c.Total)
+	}
+	if got := c.Marshal(); !bytes.Equal(got, golden) {
+		t.Fatalf("campaign report drifted from committed golden (regenerate if the change is intended)\n--- got ---\n%s", got)
+	}
+}
+
+func TestLoadSpecRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "typo.json")
+	body := `{
+  "name": "typo", "nodes": 3,
+  "traffic": {"pattern": "ring", "messages": 4, "size": 1024},
+  "assert": {"outcom": "complete"}
+}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(path); err == nil {
+		t.Fatal("typoed assertion field accepted silently")
+	}
+}

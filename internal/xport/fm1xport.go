@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bufpool"
 	"repro/internal/cluster"
+	"repro/internal/flowctl"
 	"repro/internal/fm1"
 	"repro/internal/hostmodel"
 	"repro/internal/sim"
@@ -63,6 +64,15 @@ func (t *fm1Transport) Extract(p *sim.Proc, maxBytes int) int {
 func (t *fm1Transport) Packets() int64 { return t.ep.Stats().PacketsRecvd }
 
 func (t *fm1Transport) Poisoned() bool { return t.ep.Poisoned() }
+
+// FlowControl exposes the engine's credit ledger (CreditAccounting).
+func (t *fm1Transport) FlowControl() *flowctl.Manager { return t.ep.FlowControl() }
+
+// Anomalies reports the engine's frame hygiene counters (FrameAnomalies).
+func (t *fm1Transport) Anomalies() (malformed, orphaned int64) {
+	st := t.ep.Stats()
+	return st.Malformed, st.Orphaned
+}
 
 func (t *fm1Transport) Register(id HandlerID, fn Handler) {
 	t.ep.Register(fm1.HandlerID(id), func(p *sim.Proc, src int, data []byte) {

@@ -2,6 +2,7 @@ package xport
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/flowctl"
 	"repro/internal/fm2"
 	"repro/internal/hostmodel"
 	"repro/internal/sim"
@@ -36,6 +37,19 @@ func (t *fm2Transport) Extract(p *sim.Proc, maxBytes int) int {
 func (t *fm2Transport) Packets() int64 { return t.ep.Stats().PacketsRecvd }
 
 func (t *fm2Transport) Poisoned() bool { return t.ep.Poisoned() }
+
+// FlowControl exposes the engine's credit ledger (CreditAccounting).
+func (t *fm2Transport) FlowControl() *flowctl.Manager { return t.ep.FlowControl() }
+
+// ActiveStreams reports in-flight receive messages (StreamAccounting) — the
+// count a hang diagnostic reads to see messages stuck mid-delivery.
+func (t *fm2Transport) ActiveStreams() int { return t.ep.ActiveStreams() }
+
+// Anomalies reports the engine's frame hygiene counters (FrameAnomalies).
+func (t *fm2Transport) Anomalies() (malformed, orphaned int64) {
+	st := t.ep.Stats()
+	return st.Malformed, st.Orphaned
+}
 
 func (t *fm2Transport) Register(id HandlerID, fn Handler) {
 	// *fm2.RecvStream satisfies RecvStream structurally; only the handler

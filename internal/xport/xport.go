@@ -21,6 +21,7 @@
 package xport
 
 import (
+	"repro/internal/flowctl"
 	"repro/internal/hostmodel"
 	"repro/internal/sim"
 )
@@ -94,6 +95,31 @@ type Transport interface {
 	// header scratch, staging) align their pools with it, so the poison
 	// guarantee covers every recycled-aliasing surface, not just frames.
 	Poisoned() bool
+}
+
+// CreditAccounting is the optional diagnostic surface of transports backed
+// by a credit-windowed engine: hang diagnostics read Outstanding(dst) to see
+// how many credits a stalled sender has sunk into a peer that will never
+// return them. Both FM bindings implement it.
+type CreditAccounting interface {
+	FlowControl() *flowctl.Manager
+}
+
+// FrameAnomalies is the optional diagnostic surface for the engine's frame
+// hygiene counters: Malformed (structurally invalid frames discarded instead
+// of trusted) and Orphaned (well-formed fragments discarded because an
+// earlier frame of their message was lost in flight). Both FM bindings
+// implement it.
+type FrameAnomalies interface {
+	Anomalies() (malformed, orphaned int64)
+}
+
+// StreamAccounting is the optional diagnostic surface of transports that
+// stream messages (FM 2.x): ActiveStreams counts messages stuck mid-delivery
+// — nonzero at a hang means a handler is parked waiting for payload that was
+// lost in flight.
+type StreamAccounting interface {
+	ActiveStreams() int
 }
 
 // Send transmits buf as a single-piece message over t: the convenience path
