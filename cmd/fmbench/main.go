@@ -43,17 +43,32 @@ func main() {
 		mixed       = flag.Bool("mixed", false, "run the mixed-workload co-residency suite (shared endpoints)")
 		perf        = flag.Bool("perf", false, "run the engine wall-clock suite (events/sec, allocs/op, 512/1024-rank scaling)")
 		perfRanks   = flag.Int("perfranks", 0, "cap the perf suite's rank counts (0 = full sweep incl. 1024)")
-		jsonPath    = flag.String("json", "BENCH_PR5.json", "perf suite: machine-readable output path (empty = don't write)")
+		perfPar     = flag.Int("perfpar", 0, "perf suite: rerun fat-tree points on the parallel engine with this many LPs (0 = sequential only)")
+		perfBig     = flag.Int("perfbig", 0, "perf suite: add one fat-tree allreduce row at this rank count (e.g. 4096)")
+		jsonPath    = flag.String("json", "BENCH_PR8.json", "perf suite: machine-readable output path (empty = don't write)")
 		scenPath    = flag.String("scenario", "", "run one chaos scenario file; report JSON to stdout")
 		campDir     = flag.String("campaign", "", "run every scenario in a directory under one campaign seed")
 		campSeed    = flag.Int64("campaignseed", scenario.DefaultSeed, "campaign seed (also scopes -scenario)")
 		campOut     = flag.String("campaignout", "", "write the campaign report JSON here instead of stdout")
+		campWorkers = flag.Int("campaignpar", 1, "campaign: scenario replicas to run concurrently (0 = one per CPU); report bytes are identical at any worker count")
+		gateBase    = flag.String("gate", "", "trajectory gate: compare -gatenew against this baseline BENCH_*.json and exit nonzero on regression")
+		gateNew     = flag.String("gatenew", "BENCH_PR8.json", "trajectory gate: the new report to hold to the baseline")
+		gateTol     = flag.Float64("gatetol", bench.GateTolerancePct, "trajectory gate: regression tolerance in percent")
 	)
 	flag.Parse()
 	w := os.Stdout
 
+	if *gateBase != "" {
+		if err := bench.GateTrajectory(*gateBase, *gateNew, *gateTol); err != nil {
+			fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "trajectory gate: %s holds against %s (tol %.0f%%)\n", *gateNew, *gateBase, *gateTol)
+		return
+	}
+
 	if *scenPath != "" || *campDir != "" {
-		runScenarios(*scenPath, *campDir, *campSeed, *campOut)
+		runScenarios(*scenPath, *campDir, *campSeed, *campOut, *campWorkers)
 		return
 	}
 
@@ -140,7 +155,9 @@ func main() {
 			cfg.CollectiveRanks = capRanks(cfg.CollectiveRanks, *perfRanks)
 			cfg.TorusRanks = capRanks(cfg.TorusRanks, *perfRanks)
 		}
-		if err := bench.WritePerfReport(w, cfg, 5, *jsonPath); err != nil {
+		cfg.ParallelLPs = *perfPar
+		cfg.BigRanks = *perfBig
+		if err := bench.WritePerfReport(w, cfg, 8, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "fmbench: perf report: %v\n", err)
 			os.Exit(1)
 		}
@@ -150,7 +167,7 @@ func main() {
 // runScenarios drives the chaos layer: one scenario file or a whole
 // campaign directory. Exit status is the CI contract — nonzero on any
 // failed assertion, crash, or diagnosed hang that wasn't asserted for.
-func runScenarios(scenPath, campDir string, seed int64, outPath string) {
+func runScenarios(scenPath, campDir string, seed int64, outPath string, workers int) {
 	if scenPath != "" {
 		rep, err := scenario.RunFile(scenPath, seed)
 		if err != nil {
@@ -163,7 +180,7 @@ func runScenarios(scenPath, campDir string, seed int64, outPath string) {
 		}
 		return
 	}
-	c, err := scenario.RunCampaign(campDir, seed)
+	c, err := scenario.RunCampaignN(campDir, seed, workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
 		os.Exit(2)

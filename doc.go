@@ -115,7 +115,42 @@
 // ~12M kernel events/sec, 0 allocs/op on the send path, 512- and
 // 1024-rank collectives on the multi-stage fabrics — are measured by
 // `fmbench -perf`, which writes the machine-readable trajectory to
-// BENCH_PR5.json; CI pins the zero-alloc invariants in an alloc-gate job.
+// BENCH_PR8.json; CI pins the zero-alloc invariants in an alloc-gate job
+// and holds each PR's report to the previous one (fmbench -gate).
+//
+// # Parallel engine
+//
+// WithParallel(n) partitions a fat-tree cluster into n logical processes
+// — contiguous blocks of edge subtrees (each edge switch with its hosts
+// and NICs; spine switches dealt round-robin) — and runs each LP's event
+// heap and virtual clock on its own goroutine (internal/sim.Engine).
+// Synchronization is conservative, window-barrier style (LBTS/YAWNS
+// rather than per-channel null messages): each round, the engine computes
+// the least upper bound W = min over LPs of their next event time, plus
+// the minimum cross-LP lookahead, and every LP processes events strictly
+// before W in parallel. The lookahead is physical: a frame crossing an
+// LP boundary travels an edge<->spine trunk, so its arrival lies at least
+// one trunk propagation delay in the future. Cross-LP trunks become
+// portals (internal/sim.Portal) that post the arrival into the peer LP's
+// heap at the exact virtual time the fused fabric would have used, with
+// the fault RNG drawn in the same order — link names, routes, and
+// per-link-name RNG streams are identical to the sequential build, which
+// is why fault patterns stay decorrelated per link regardless of the
+// partition.
+//
+// Virtual time is therefore bit-identical to the sequential kernel, with
+// one physically honest exception: reverse back-pressure across a cut has
+// zero lookahead (a full input queue on LP B stalls a transmitter on LP A
+// "now"), which no conservative scheme can reproduce. The engine detects
+// the case instead of approximating it — an arrival that finds its
+// downstream port queue full counts a cut stall, and Network.Certified()
+// reports whether a run was provably identical to the sequential engine.
+// Congestion-free shapes (WithFullBisection, deeper WithLinkSlots) stay
+// certified; the conformance suites pin those shapes and require
+// byte-equal results, while oversubscribed default shapes report their
+// stalls honestly. `fmbench -perf -perfpar N` reruns the fat-tree points
+// on N LPs and reports speedup and certification next to the sequential
+// rows.
 //
 // See README.md.
 package fmnet

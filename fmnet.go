@@ -158,17 +158,20 @@ func (t Topo) cluster() (cluster.Topology, error) {
 
 // config collects the functional options.
 type config struct {
-	nodes   int
-	topo    Topo
-	gen     xport.Gen
-	mpi     bool
-	mpiOpt  mpifm.Options
-	sockets bool
-	shm     bool
-	gaSize  int
-	custom  []string
-	faults  *netsim.FaultPlan
-	poison  bool
+	nodes    int
+	topo     Topo
+	gen      xport.Gen
+	mpi      bool
+	mpiOpt   mpifm.Options
+	sockets  bool
+	shm      bool
+	gaSize   int
+	custom   []string
+	faults   *netsim.FaultPlan
+	poison   bool
+	parallel int
+	slots    int
+	fullBis  bool
 }
 
 // Option configures a Session under construction.
@@ -223,6 +226,26 @@ func WithFaults(plan FaultPlan) Option {
 	return func(c *config) { p := plan; c.faults = &p }
 }
 
+// WithParallel splits the simulation across n logical processes, each on
+// its own OS thread, synchronized conservatively on trunk-link lookahead
+// (see the sim package's "Parallel engine" notes). Requires the FatTree
+// topology with n dividing the edge-switch count; n <= 1 keeps the default
+// sequential kernel. Virtual-time results are bit-identical to sequential
+// whenever Fabric().Certified() reports true — which congestion-free runs
+// always are.
+func WithParallel(n int) Option { return func(c *config) { c.parallel = n } }
+
+// WithLinkSlots sets every port queue's depth (default 2 — the paper's
+// shallow hard-back-pressure wires). Deeper queues absorb collective
+// fan-in bursts; under WithParallel that is what keeps runs certified
+// exact, since a full queue at a partition cut is the one effect the
+// conservative engine cannot mirror.
+func WithLinkSlots(n int) Option { return func(c *config) { c.slots = n } }
+
+// WithFullBisection wires as many fat-tree spines as hosts per edge
+// (default is 2:1 oversubscribed uplinks). Only meaningful with FatTree.
+func WithFullBisection() Option { return func(c *config) { c.fullBis = true } }
+
 // WithPoison turns on poison-on-recycle debugging in the backing engine:
 // every recycled frame and staging buffer is overwritten on release, so any
 // read of lost or recycled payload becomes loudly visible. Wall-clock cost
@@ -266,7 +289,6 @@ func New(opts ...Option) (*Session, error) {
 		return nil, err
 	}
 
-	k := sim.NewKernel()
 	ccfg := cluster.DefaultConfig()
 	ccfg.Nodes = cfg.nodes
 	ccfg.Topology = topo
@@ -275,12 +297,27 @@ func New(opts ...Option) (*Session, error) {
 		ccfg.Profile = hostmodel.Sparc()
 	}
 	ccfg.Faults = cfg.faults
-	pl, err := cluster.TryNew(k, ccfg)
-	if err != nil {
-		return nil, err
+	if cfg.slots > 0 {
+		ccfg.Profile.Link.Slots = cfg.slots
+	}
+	if cfg.fullBis {
+		ccfg.Uplinks = ccfg.HostsPerSwitch
+	}
+	var (
+		pl   *cluster.Platform
+		err2 error
+	)
+	if cfg.parallel > 1 {
+		ccfg.Parallelism = cfg.parallel
+		pl, err2 = cluster.TryNewPar(sim.NewEngine(), ccfg)
+	} else {
+		pl, err2 = cluster.TryNew(sim.NewKernel(), ccfg)
+	}
+	if err2 != nil {
+		return nil, err2
 	}
 	s := &Session{
-		k:  k,
+		k:  pl.K,
 		pl: pl,
 		eps: xport.AttachEndpoints(pl, xport.EndpointConfig{
 			Gen: cfg.gen,
@@ -332,8 +369,12 @@ func New(opts ...Option) (*Session, error) {
 	return s, nil
 }
 
-// Kernel exposes the deterministic simulation kernel.
+// Kernel exposes the deterministic simulation kernel (the first LP's
+// kernel under WithParallel; prefer SpawnOn/SpawnRanks for node work).
 func (s *Session) Kernel() *sim.Kernel { return s.k }
+
+// Parallel reports whether the session runs on the partitioned engine.
+func (s *Session) Parallel() bool { return s.pl.Parallel() }
 
 // Nodes reports the cluster size.
 func (s *Session) Nodes() int { return len(s.eps) }
@@ -341,19 +382,29 @@ func (s *Session) Nodes() int { return len(s.eps) }
 // Now reports current virtual time.
 func (s *Session) Now() Time { return s.k.Now() }
 
-// Spawn starts a simulated process at time zero.
+// Spawn starts a simulated process at time zero (on the first LP's kernel
+// under WithParallel — use SpawnOn for processes that drive a node).
 func (s *Session) Spawn(name string, fn func(p *Proc)) { s.k.Spawn(name, fn) }
 
-// SpawnRanks starts one process per node, each told its rank.
+// SpawnOn starts a simulated process on the kernel that owns a node — the
+// shared kernel on a sequential session, the owning LP's under WithParallel.
+// A process that calls a node's services must live on that node's kernel.
+func (s *Session) SpawnOn(node int, name string, fn func(p *Proc)) {
+	s.pl.KernelOf(node).Spawn(name, fn)
+}
+
+// SpawnRanks starts one process per node, each told its rank, each on its
+// node's owning kernel.
 func (s *Session) SpawnRanks(name string, fn func(rank int, p *Proc)) {
 	for r := 0; r < s.Nodes(); r++ {
 		r := r
-		s.k.Spawn(fmt.Sprintf("%s.%d", name, r), func(p *Proc) { fn(r, p) })
+		s.pl.KernelOf(r).Spawn(fmt.Sprintf("%s.%d", name, r), func(p *Proc) { fn(r, p) })
 	}
 }
 
-// Run drives the simulation until every process completes.
-func (s *Session) Run() error { return s.k.Run() }
+// Run drives the simulation until every process completes — the sequential
+// kernel or, under WithParallel, the partitioned engine.
+func (s *Session) Run() error { return s.pl.Run() }
 
 // Endpoint returns a node's shared fabric attachment (per-service stats,
 // raw extraction).

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fm2"
 	"repro/internal/garr"
 	"repro/internal/mpifm"
+	"repro/internal/netsim"
 	"repro/internal/shmem"
 	"repro/internal/sim"
 	"repro/internal/sockfm"
@@ -40,7 +41,11 @@ const (
 var AllFabrics = []Fabric{FabSingle, FabLine, FabFatTree, FabTorus}
 
 // apply shapes cfg for n nodes on this fabric. Hosts-per-switch adapts to
-// small n so every power-of-two rank count from 2 up assembles.
+// small n so every power-of-two rank count from 2 up assembles, and grows
+// on the fat tree for very large n: every spine connects to every edge
+// switch, so the edge count must fit one crossbar's port budget
+// (netsim.MaxSwitchPorts). At 4096 nodes that means 16 hosts per edge
+// (256 edges); the 64..1024-rank points keep their historical shape of 4.
 func (f Fabric) apply(cfg *cluster.Config, n int) {
 	cfg.Nodes = n
 	hosts := func(def int) int {
@@ -59,7 +64,11 @@ func (f Fabric) apply(cfg *cluster.Config, n int) {
 		cfg.HostsPerSwitch = hosts(2)
 	case FabFatTree:
 		cfg.Topology = cluster.FatTree
-		cfg.HostsPerSwitch = hosts(4)
+		h := hosts(4)
+		for n%(h*2) == 0 && n/h > netsim.MaxSwitchPorts {
+			h *= 2
+		}
+		cfg.HostsPerSwitch = h
 	case FabTorus:
 		cfg.Topology = cluster.Torus2D
 		cfg.HostsPerSwitch = hosts(4)

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Trajectory gate: a static comparator over two committed BENCH_*.json
+// files. The perf suite's value is the TRAJECTORY of numbers across PRs,
+// not any one snapshot — so CI holds each new report to the previous one:
+// the sequential engine may not lose events/sec or gain allocs/op beyond a
+// tolerance. Parallel entries are excluded: their wall-clock numbers
+// depend on host core count, and the sequential engine is the regression
+// surface this gate protects.
+
+// GateTolerancePct is the default regression allowance. Events/sec on a
+// shared CI runner is noisy; allocs/op is nearly exact, but the single
+// tolerance keeps the contract simple.
+const GateTolerancePct = 25
+
+// gateKey identifies comparable entries across reports.
+func gateKey(e PerfEntry) string {
+	return fmt.Sprintf("%s|%s|%d|%d", e.Name, e.Fabric, e.Ranks, e.SizeB)
+}
+
+// LoadPerfReport reads a committed BENCH_*.json file.
+func LoadPerfReport(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %v", path, err)
+	}
+	if rep.Schema != PerfSchema {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, rep.Schema, PerfSchema)
+	}
+	return &rep, nil
+}
+
+// GateTrajectory compares the sequential entries of newPath against
+// basePath: every base entry must have a counterpart, events/sec must not
+// fall below base*(1-tol%), and allocs/op must not rise above
+// base*(1+tol%) (+0.01 absolute, so a pinned 0.00 allocs/op tolerates
+// measurement jitter but not a real allocation). Returns nil when the
+// trajectory holds; an error naming every violation otherwise.
+func GateTrajectory(basePath, newPath string, tolPct float64) error {
+	base, err := LoadPerfReport(basePath)
+	if err != nil {
+		return err
+	}
+	next, err := LoadPerfReport(newPath)
+	if err != nil {
+		return err
+	}
+	fresh := make(map[string]PerfEntry)
+	for _, e := range next.Entries {
+		if e.Engine == "" {
+			fresh[gateKey(e)] = e
+		}
+	}
+	var bad []string
+	for _, b := range base.Entries {
+		if b.Engine != "" {
+			continue
+		}
+		n, ok := fresh[gateKey(b)]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: present in %s but missing from %s (coverage may not shrink)",
+				gateKey(b), basePath, newPath))
+			continue
+		}
+		if floor := b.EventsPerSec * (1 - tolPct/100); n.EventsPerSec < floor {
+			bad = append(bad, fmt.Sprintf("%s: events/sec %.0f < floor %.0f (base %.0f, tol %.0f%%)",
+				gateKey(b), n.EventsPerSec, floor, b.EventsPerSec, tolPct))
+		}
+		if ceil := b.AllocsPerOp*(1+tolPct/100) + 0.01; n.AllocsPerOp > ceil {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op %.2f > ceiling %.2f (base %.2f, tol %.0f%%)",
+				gateKey(b), n.AllocsPerOp, ceil, b.AllocsPerOp, tolPct))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench: trajectory gate %s -> %s failed:\n  %s",
+			basePath, newPath, strings.Join(bad, "\n  "))
+	}
+	return nil
+}

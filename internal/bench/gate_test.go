@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, entries []PerfEntry) string {
+	t.Helper()
+	rep := PerfReport{Schema: PerfSchema, PR: 8, Entries: entries}
+	path := filepath.Join(dir, name)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	baseEntries := []PerfEntry{
+		{Name: "kernel-event-loop", EventsPerSec: 1e7, AllocsPerOp: 0.0},
+		{Name: "allreduce", Fabric: "fattree", Ranks: 64, SizeB: 1024, EventsPerSec: 2e6, AllocsPerOp: 10},
+		// Parallel entries must be ignored by the gate entirely.
+		{Name: "allreduce", Fabric: "fattree", Ranks: 64, SizeB: 1024, Engine: "parallel", Parallelism: 4, EventsPerSec: 1, AllocsPerOp: 1e9},
+	}
+	base := writeReport(t, dir, "base.json", baseEntries)
+
+	t.Run("identical passes", func(t *testing.T) {
+		next := writeReport(t, dir, "same.json", baseEntries)
+		if err := GateTrajectory(base, next, GateTolerancePct); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("within tolerance passes", func(t *testing.T) {
+		next := writeReport(t, dir, "ok.json", []PerfEntry{
+			{Name: "kernel-event-loop", EventsPerSec: 0.8e7, AllocsPerOp: 0.005},
+			{Name: "allreduce", Fabric: "fattree", Ranks: 64, SizeB: 1024, EventsPerSec: 1.6e6, AllocsPerOp: 12},
+		})
+		if err := GateTrajectory(base, next, GateTolerancePct); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("throughput regression fails", func(t *testing.T) {
+		next := writeReport(t, dir, "slow.json", []PerfEntry{
+			{Name: "kernel-event-loop", EventsPerSec: 0.5e7, AllocsPerOp: 0.0},
+			{Name: "allreduce", Fabric: "fattree", Ranks: 64, SizeB: 1024, EventsPerSec: 2e6, AllocsPerOp: 10},
+		})
+		err := GateTrajectory(base, next, GateTolerancePct)
+		if err == nil || !strings.Contains(err.Error(), "events/sec") {
+			t.Fatalf("want events/sec violation, got %v", err)
+		}
+	})
+	t.Run("allocation regression fails", func(t *testing.T) {
+		next := writeReport(t, dir, "allocs.json", []PerfEntry{
+			{Name: "kernel-event-loop", EventsPerSec: 1e7, AllocsPerOp: 1.5},
+			{Name: "allreduce", Fabric: "fattree", Ranks: 64, SizeB: 1024, EventsPerSec: 2e6, AllocsPerOp: 10},
+		})
+		err := GateTrajectory(base, next, GateTolerancePct)
+		if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+			t.Fatalf("want allocs/op violation, got %v", err)
+		}
+	})
+	t.Run("missing counterpart fails", func(t *testing.T) {
+		next := writeReport(t, dir, "shrunk.json", []PerfEntry{
+			{Name: "kernel-event-loop", EventsPerSec: 1e7, AllocsPerOp: 0.0},
+		})
+		err := GateTrajectory(base, next, GateTolerancePct)
+		if err == nil || !strings.Contains(err.Error(), "missing") {
+			t.Fatalf("want missing-entry violation, got %v", err)
+		}
+	})
+	t.Run("wrong schema fails", func(t *testing.T) {
+		path := filepath.Join(dir, "schema.json")
+		if err := os.WriteFile(path, []byte(`{"schema":"other/9","entries":[]}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := GateTrajectory(base, path, GateTolerancePct); err == nil {
+			t.Fatal("foreign schema accepted")
+		}
+	})
+}
+
+// TestGateCommittedTrajectory holds the committed PR 8 report to the
+// committed PR 5 baseline — the exact comparison the CI gate step runs.
+func TestGateCommittedTrajectory(t *testing.T) {
+	base := filepath.Join("..", "..", "BENCH_PR5.json")
+	next := filepath.Join("..", "..", "BENCH_PR8.json")
+	if _, err := os.Stat(next); err != nil {
+		t.Skip("BENCH_PR8.json not generated yet")
+	}
+	if err := GateTrajectory(base, next, GateTolerancePct); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fm2"
 	"repro/internal/mpifm"
 	"repro/internal/sim"
@@ -29,6 +30,13 @@ type PerfEntry struct {
 	Ranks  int    `json:"ranks,omitempty"`
 	SizeB  int    `json:"size_b,omitempty"`
 	Ops    int64  `json:"ops,omitempty"` // unit of AllocsPerOp (messages, events...)
+
+	// Parallel-engine fields (zero on the default sequential entries).
+	Engine      string  `json:"engine,omitempty"`      // "parallel" for partitioned runs
+	Parallelism int     `json:"parallelism,omitempty"` // LP count
+	SpeedupX    float64 `json:"speedup_x,omitempty"`   // seq wall / par wall, same workload
+	Certified   bool    `json:"certified,omitempty"`   // run provably bit-identical to sequential
+	CutStalls   int64   `json:"cut_stalls,omitempty"`  // cross-partition back-pressure events
 
 	VirtualUS    float64 `json:"virtual_us,omitempty"` // modeled result, determinism-pinned
 	WallMS       float64 `json:"wall_ms"`
@@ -64,6 +72,15 @@ type PerfConfig struct {
 	Size            int // bytes per rank contribution
 	KernelEvents    int // event count for the raw kernel measurement
 	StreamMsgs      int // messages for the fm2 steady-state measurement
+
+	// ParallelLPs > 1 reruns every fat-tree allreduce point on the
+	// partitioned engine with that many LPs and reports speedup vs the
+	// sequential entry for the same rank count (0 = sequential only).
+	ParallelLPs int
+	// BigRanks adds one extra fat-tree allreduce row at this rank count
+	// (the CP-PACS-scale point; 0 = none). With ParallelLPs set the row
+	// is measured on both engines.
+	BigRanks int
 }
 
 // DefaultPerfConfig runs the full suite, including the 1024-rank point.
@@ -231,17 +248,97 @@ func PerfCollective(f Fabric, ranks, size int) PerfEntry {
 	}
 }
 
+// PerfCollectivePar is PerfCollective on the partitioned engine: the same
+// allreduce round at scale, split across `parts` LPs on OS threads. The
+// fabric shape is identical to the sequential fat-tree entry, so VirtualUS
+// is directly comparable — and bit-equal whenever Certified is true.
+func PerfCollectivePar(ranks, size, parts int) PerfEntry {
+	size -= size % 4
+	if size < 4 {
+		size = 4
+	}
+	cfg := cluster.DefaultConfig()
+	FabFatTree.apply(&cfg, ranks)
+	cfg.Parallelism = parts
+	e := sim.NewEngine()
+	pl, err := cluster.TryNewPar(e, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: perf parallel allreduce ranks=%d lps=%d: %v", ranks, parts, err))
+	}
+	comms := mpifm.AttachFM2(pl, fm2.Config{}, mpifm.PProOverheads(), true)
+	starts := make([]sim.Time, ranks)
+	ends := make([]sim.Time, ranks)
+	for r := 0; r < ranks; r++ {
+		c := comms[r]
+		c.SetCollectiveAlgo(mpifm.AlgoAuto)
+		pl.KernelOf(r).Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			sendbuf, recvbuf := collBuffers(CollAllreduce, ranks, c.Rank(), size)
+			if err := c.Barrier(p); err != nil {
+				panic(err)
+			}
+			starts[c.Rank()] = p.Now()
+			if err := c.Allreduce(p, sendbuf, recvbuf, mpifm.OpSumU32); err != nil {
+				panic(err)
+			}
+			ends[c.Rank()] = p.Now()
+		})
+	}
+	t0 := time.Now()
+	mallocs, bytes := memDelta(func() { err = e.Run() })
+	wall := time.Since(t0)
+	if err != nil {
+		panic(fmt.Sprintf("bench: perf parallel allreduce ranks=%d lps=%d: %v", ranks, parts, err))
+	}
+	start, end := starts[0], ends[0]
+	for r := 1; r < ranks; r++ {
+		if starts[r] < start {
+			start = starts[r]
+		}
+		if ends[r] > end {
+			end = ends[r]
+		}
+	}
+	ev := int64(e.Events())
+	return PerfEntry{
+		Name: "allreduce", Fabric: string(FabFatTree), Ranks: ranks, SizeB: size,
+		Ops:    int64(ranks),
+		Engine: "parallel", Parallelism: parts,
+		Certified: pl.Net.Certified(), CutStalls: pl.Net.CutStalls(),
+		VirtualUS: (end - start).Micros(),
+		WallMS:    wall.Seconds() * 1e3, Events: ev,
+		EventsPerSec: float64(ev) / wall.Seconds(),
+		AllocsPerOp:  float64(mallocs) / float64(ranks),
+		BytesPerOp:   float64(bytes) / float64(ranks),
+	}
+}
+
 // RunPerfSuite executes the whole suite.
 func RunPerfSuite(cfg PerfConfig) []PerfEntry {
 	entries := []PerfEntry{
 		PerfKernelEvents(cfg.KernelEvents),
 		PerfFM2Stream(cfg.StreamMsgs, 1024),
 	}
-	for _, n := range cfg.CollectiveRanks {
-		entries = append(entries, PerfCollective(FabFatTree, n, cfg.Size))
+	ftRanks := cfg.CollectiveRanks
+	if cfg.BigRanks > 0 {
+		ftRanks = append(append([]int(nil), ftRanks...), cfg.BigRanks)
+	}
+	seqWall := make(map[int]float64, len(ftRanks))
+	for _, n := range ftRanks {
+		e := PerfCollective(FabFatTree, n, cfg.Size)
+		seqWall[n] = e.WallMS
+		entries = append(entries, e)
 	}
 	for _, n := range cfg.TorusRanks {
 		entries = append(entries, PerfCollective(FabTorus, n, cfg.Size))
+	}
+	if cfg.ParallelLPs > 1 {
+		for _, n := range ftRanks {
+			e := PerfCollectivePar(n, cfg.Size, cfg.ParallelLPs)
+			if e.WallMS > 0 {
+				e.SpeedupX = seqWall[n] / e.WallMS
+			}
+			entries = append(entries, e)
+		}
 	}
 	return entries
 }
@@ -250,13 +347,20 @@ func RunPerfSuite(cfg PerfConfig) []PerfEntry {
 // non-empty, writes the machine-readable trajectory file.
 func WritePerfReport(w io.Writer, cfg PerfConfig, pr int, jsonPath string) error {
 	fmt.Fprintf(w, "Engine wall-clock suite (simulator cost, not modeled time):\n")
-	fmt.Fprintf(w, "  %-22s %-8s %6s  %12s  %10s  %12s  %10s  %10s\n",
-		"bench", "fabric", "ranks", "virtual_us", "wall_ms", "events/sec", "allocs/op", "bytes/op")
+	fmt.Fprintf(w, "  %-22s %-8s %-6s %6s  %12s  %10s  %12s  %10s  %10s  %8s\n",
+		"bench", "fabric", "engine", "ranks", "virtual_us", "wall_ms", "events/sec", "allocs/op", "bytes/op", "speedup")
 	entries := RunPerfSuite(cfg)
 	for _, e := range entries {
 		fab := e.Fabric
 		if fab == "" {
 			fab = "-"
+		}
+		eng := "seq"
+		if e.Engine != "" {
+			eng = fmt.Sprintf("par%d", e.Parallelism)
+			if !e.Certified {
+				eng += "*" // uncertified: cut back-pressure occurred
+			}
 		}
 		ranks := "-"
 		if e.Ranks > 0 {
@@ -266,8 +370,12 @@ func WritePerfReport(w io.Writer, cfg PerfConfig, pr int, jsonPath string) error
 		if e.VirtualUS > 0 {
 			virt = fmt.Sprintf("%.1f", e.VirtualUS)
 		}
-		fmt.Fprintf(w, "  %-22s %-8s %6s  %12s  %10.1f  %12.0f  %10.2f  %10.1f\n",
-			e.Name, fab, ranks, virt, e.WallMS, e.EventsPerSec, e.AllocsPerOp, e.BytesPerOp)
+		speed := "-"
+		if e.SpeedupX > 0 {
+			speed = fmt.Sprintf("%.2fx", e.SpeedupX)
+		}
+		fmt.Fprintf(w, "  %-22s %-8s %-6s %6s  %12s  %10.1f  %12.0f  %10.2f  %10.1f  %8s\n",
+			e.Name, fab, eng, ranks, virt, e.WallMS, e.EventsPerSec, e.AllocsPerOp, e.BytesPerOp, speed)
 	}
 	if jsonPath == "" {
 		return nil

@@ -74,6 +74,14 @@ type Config struct {
 	// by link-name glob; see netsim.FaultPlan). Validate checks it; TryNew
 	// applies it after the topology is built.
 	Faults *netsim.FaultPlan
+
+	// Parallelism partitions the cluster across that many logical processes
+	// of a parallel engine (TryNewPar): each LP owns a block of fat-tree
+	// edge subtrees and runs on its own goroutine. 0 or 1 means sequential.
+	// Requires a FatTree topology with Parallelism dividing the edge-switch
+	// count and a positive link propagation delay (the trunk delay is the
+	// conservative lookahead).
+	Parallelism int
 }
 
 // AutoShape picks a HostsPerSwitch that divides Nodes while keeping at
@@ -119,13 +127,50 @@ func DefaultConfig() Config {
 	}
 }
 
-// Platform is an assembled cluster ready for a messaging layer.
+// Platform is an assembled cluster ready for a messaging layer. On a
+// partitioned platform (TryNewPar), K is LP 0's kernel — use KernelOf to
+// place per-node activity on the node's owning partition.
 type Platform struct {
 	K     *sim.Kernel
 	Cfg   Config
 	Net   *netsim.Network
 	Hosts []*hostmodel.Host
 	NICs  []*lanai.NIC
+
+	// Parallel-engine state; nil/empty on a sequential platform.
+	Engine *sim.Engine
+	LPs    []*sim.LP
+	nodeLP []int
+}
+
+// Parallel reports whether the platform runs under a parallel engine.
+func (pl *Platform) Parallel() bool { return pl.Engine != nil }
+
+// KernelOf returns the kernel that owns node i: the partition's LP kernel
+// on a parallel platform, the global kernel otherwise. Procs driving node
+// i's endpoints must spawn here.
+func (pl *Platform) KernelOf(i int) *sim.Kernel {
+	if pl.Engine == nil {
+		return pl.K
+	}
+	return pl.LPs[pl.nodeLP[i]].K
+}
+
+// LPOf reports the LP index owning node i (0 on a sequential platform).
+func (pl *Platform) LPOf(i int) int {
+	if pl.Engine == nil {
+		return 0
+	}
+	return pl.nodeLP[i]
+}
+
+// Run drives the platform to completion: Engine.Run when partitioned,
+// Kernel.Run otherwise.
+func (pl *Platform) Run() error {
+	if pl.Engine != nil {
+		return pl.Engine.Run()
+	}
+	return pl.K.Run()
 }
 
 // hostsPerSwitch resolves the per-switch host count for cfg.
@@ -227,7 +272,35 @@ func (cfg Config) Validate() error {
 			return err
 		}
 	}
+	if cfg.Parallelism < 0 {
+		return fmt.Errorf("cluster: negative Parallelism %d", cfg.Parallelism)
+	}
+	if cfg.Parallelism > 1 {
+		if cfg.Topology != FatTree {
+			return fmt.Errorf("cluster: Parallelism requires a FatTree topology (partition boundary is the trunk lookahead), have %s", cfg.Topology)
+		}
+		fp := netsim.FatTreePartition{Edges: cfg.Nodes / h, Hosts: h, Spines: cfg.fatTreeSpines(h), Parts: cfg.Parallelism}
+		if err := fp.Validate(); err != nil {
+			return err
+		}
+		if cfg.Profile.Link.PropDelay < sim.Nanosecond {
+			return fmt.Errorf("cluster: Parallelism requires link PropDelay >= 1ns (it is the conservative lookahead)")
+		}
+	}
 	return nil
+}
+
+// fatTreeSpines resolves the fat-tree spine count for cfg: explicit
+// Uplinks, else half the hosts per edge (min 2) — the 2:1 oversubscribed
+// default TryNew has always used.
+func (cfg *Config) fatTreeSpines(h int) int {
+	spines := cfg.Uplinks
+	if spines == 0 {
+		if spines = h / 2; spines < 2 {
+			spines = 2
+		}
+	}
+	return spines
 }
 
 // New builds and starts a Platform on the given kernel, panicking on a
@@ -265,13 +338,7 @@ func TryNew(k *sim.Kernel, cfg Config) (*Platform, error) {
 		net = netsim.NewLine(k, cfg.Nodes/h, h, cfg.Profile.Link, cfg.SwitchDelay)
 	case FatTree:
 		h := cfg.hostsPerSwitch()
-		spines := cfg.Uplinks
-		if spines == 0 {
-			if spines = h / 2; spines < 2 {
-				spines = 2
-			}
-		}
-		net = netsim.NewFatTree(k, cfg.Nodes/h, h, spines, cfg.Profile.Link, cfg.SwitchDelay)
+		net = netsim.NewFatTree(k, cfg.Nodes/h, h, cfg.fatTreeSpines(h), cfg.Profile.Link, cfg.SwitchDelay)
 	case Torus2D:
 		h := cfg.hostsPerSwitch()
 		rows, cols := torusShape(cfg, cfg.Nodes/h)
@@ -288,6 +355,53 @@ func TryNew(k *sim.Kernel, cfg Config) (*Platform, error) {
 		nic := lanai.New(h, net.Iface(i), cfg.NIC)
 		nic.Start()
 		pl.Hosts = append(pl.Hosts, h)
+		pl.NICs = append(pl.NICs, nic)
+	}
+	return pl, nil
+}
+
+// TryNewPar builds a partitioned Platform on a parallel engine: one LP per
+// partition (cfg.Parallelism of them), hosts and NICs constructed on their
+// owning partition's kernel, trunk links crossing partitions as
+// lookahead-bearing portals. Drive it with Platform.Run (or Engine.Run);
+// per-node Procs must spawn on KernelOf(node).
+func TryNewPar(e *sim.Engine, cfg Config) (*Platform, error) {
+	if cfg.Parallelism < 2 {
+		return nil, fmt.Errorf("cluster: TryNewPar needs Parallelism >= 2, have %d", cfg.Parallelism)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Same ring-growth rule as TryNew: identical structural parameters are
+	// a precondition for identical virtual-time results.
+	if need := flowctl.RingSlotsFor(cfg.Nodes, cfg.Profile.CreditWindow); cfg.Profile.RingSlots < need {
+		cfg.Profile.RingSlots = need
+	}
+	h := cfg.hostsPerSwitch()
+	fp := netsim.FatTreePartition{
+		Edges:  cfg.Nodes / h,
+		Hosts:  h,
+		Spines: cfg.fatTreeSpines(h),
+		Parts:  cfg.Parallelism,
+	}
+	lps := make([]*sim.LP, fp.Parts)
+	for i := range lps {
+		lps[i] = e.AddLP(fmt.Sprintf("part%d", i))
+	}
+	net := netsim.NewFatTreePar(lps, fp, cfg.Profile.Link, cfg.SwitchDelay)
+	if cfg.Faults != nil {
+		if err := net.ApplyFaults(*cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
+	pl := &Platform{K: lps[0].K, Cfg: cfg, Net: net, Engine: e, LPs: lps, nodeLP: make([]int, cfg.Nodes)}
+	for i := 0; i < cfg.Nodes; i++ {
+		pl.nodeLP[i] = fp.NodeLP(i)
+		k := lps[pl.nodeLP[i]].K
+		host := hostmodel.NewHost(k, i, cfg.Profile)
+		nic := lanai.New(host, net.Iface(i), cfg.NIC)
+		nic.Start()
+		pl.Hosts = append(pl.Hosts, host)
 		pl.NICs = append(pl.NICs, nic)
 	}
 	return pl, nil

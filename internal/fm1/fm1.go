@@ -149,6 +149,14 @@ func NewEndpoint(pl *cluster.Platform, node int, cfg Config) *Endpoint {
 		e.ctrlPool.SetPoison(true)
 		e.asmPool.SetPoison(true)
 	}
+	if pl.Parallel() {
+		// Frames this endpoint allocates are released by receivers on other
+		// LPs' goroutines; the wire pools must take their mutex mode. The
+		// reassembly pool stays lock-free: its buffers live and die on this
+		// node's own kernel.
+		e.frames.SetShared(true)
+		e.ctrlPool.SetShared(true)
+	}
 	return e
 }
 

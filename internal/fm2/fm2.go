@@ -175,6 +175,14 @@ func NewEndpoint(pl *cluster.Platform, node int, cfg Config) *Endpoint {
 		e.ctrlPool.SetPoison(true)
 		e.loopPool.SetPoison(true)
 	}
+	if pl.Parallel() {
+		// Frames this endpoint allocates are released by receivers on other
+		// LPs' goroutines; the wire pools must take their mutex mode. The
+		// stream and loopback pools stay lock-free: they never leave this
+		// node's own kernel.
+		e.frames.SetShared(true)
+		e.ctrlPool.SetShared(true)
+	}
 	return e
 }
 

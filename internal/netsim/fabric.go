@@ -75,10 +75,18 @@ func NewFatTree(k *sim.Kernel, edges, hosts, spines int, cfg LinkConfig, routeDe
 	for _, sw := range spineSw {
 		sw.Start(k)
 	}
+	n.routes = fatTreeRoutes(edges, hosts, spines)
+	return n
+}
+
+// fatTreeRoutes computes the per-pair source routes for a 2-level Clos.
+// Shared by the sequential and partitioned fat-tree builders so the two
+// fabrics are route-identical by construction.
+func fatTreeRoutes(edges, hosts, spines int) [][][]uint8 {
 	total := edges * hosts
-	n.routes = make([][][]uint8, total)
+	routes := make([][][]uint8, total)
 	for a := 0; a < total; a++ {
-		n.routes[a] = make([][]uint8, total)
+		routes[a] = make([][]uint8, total)
 		ea := a / hosts
 		for b := 0; b < total; b++ {
 			if a == b {
@@ -86,14 +94,14 @@ func NewFatTree(k *sim.Kernel, edges, hosts, spines int, cfg LinkConfig, routeDe
 			}
 			eb, lb := b/hosts, b%hosts
 			if ea == eb {
-				n.routes[a][b] = []uint8{uint8(lb)}
+				routes[a][b] = []uint8{uint8(lb)}
 				continue
 			}
 			spine := (2*a + b) % spines
-			n.routes[a][b] = []uint8{uint8(hosts + spine), uint8(eb), uint8(lb)}
+			routes[a][b] = []uint8{uint8(hosts + spine), uint8(eb), uint8(lb)}
 		}
 	}
-	return n
+	return routes
 }
 
 // Torus direction indices; out port for (dir d, vc v) on a torus switch

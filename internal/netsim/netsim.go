@@ -74,6 +74,11 @@ type LinkStats struct {
 // Link is a unidirectional wire from one element to the input queue of the
 // next. Send serializes the packet at link bandwidth and blocks (holding the
 // link — back-pressure) while the downstream queue is full.
+//
+// A link whose endpoints live in different LPs of a parallel engine is a
+// PORTAL link: instead of delivering into dst directly, Send posts the
+// packet across the LP boundary with the link's propagation delay as the
+// engine's lookahead (see sendPortal for the exact timing argument).
 type Link struct {
 	name   string
 	cfg    LinkConfig
@@ -82,6 +87,7 @@ type Link struct {
 	net    *Network // owning fabric (loss registry); nil for standalone links
 	faults *linkFaults
 	stats  LinkStats
+	portal *sim.Portal[*Packet] // non-nil: cross-LP egress (parallel fabric)
 }
 
 // NewLink creates a link delivering into dst.
@@ -116,56 +122,100 @@ func (l *Link) Send(p *sim.Proc, pkt *Packet) {
 	l.xmit.Acquire(p, 1)
 	wire := pkt.Size() + l.cfg.FrameOverhead
 	delay := sim.BytesTime(wire, l.cfg.BandwidthMBps) + l.cfg.PropDelay
-	f := l.faults
-	if f != nil && f.slow > 1 {
+	if f := l.faults; f != nil && f.slow > 1 {
 		// Straggler link/NIC: serialization and propagation both degrade.
 		delay = sim.Time(float64(delay) * f.slow)
+	}
+	if l.portal != nil {
+		l.sendPortal(p, pkt, wire, delay)
+		return
 	}
 	p.Delay(delay)
 	l.stats.Packets++
 	l.stats.Bytes += int64(pkt.Size())
 	l.stats.WireBytes += int64(wire)
-	if f != nil {
-		if f.inDown(p.Now()) {
-			// The link is inside an outage window: the frame vanishes on the
-			// dead wire. (A real Myrinet sender would eventually see the
-			// back-pressure deadman fire; FM treats either as frame loss.)
-			l.stats.DownDropped++
-			l.net.noteLost(pkt, LossLinkDown)
-			l.xmit.Release(1)
-			pkt.Release()
-			return
-		}
-		if f.drop > 0 || f.corrupt > 0 {
-			// The fault RNG is built lazily on first use and seeded from
-			// (seed, link name), so links sharing one config draw
-			// uncorrelated sequences while the run stays deterministic.
-			if f.rng == nil {
-				f.rng = rand.New(rand.NewSource(linkSeed(f.seed, l.name)))
-			}
-			if f.drop > 0 && f.rng.Float64() < f.drop {
-				l.stats.Dropped++
-				l.net.noteLost(pkt, LossLinkDrop)
-				l.xmit.Release(1)
-				pkt.Release() // a dropped frame goes back to its sender's pool
-				return
-			}
-			if f.corrupt > 0 && f.rng.Float64() < f.corrupt && len(pkt.Payload) > 0 {
-				// Flip one bit in place and mark the frame as failing the
-				// link CRC. The frame is owned by the fabric at this point —
-				// senders hand ownership to the NIC — so no other reader can
-				// observe the flip before the receiving NIC discards it.
-				i := f.rng.Intn(len(pkt.Payload))
-				pkt.Payload[i] ^= 1 << uint(f.rng.Intn(8))
-				pkt.Corrupt = true
-				l.stats.Corrupted++
-			}
-		}
+	if !l.applyFaults(pkt, p.Now()) {
+		l.xmit.Release(1)
+		pkt.Release() // a lost frame goes back to its sender's pool
+		return
 	}
 	// Holding xmit while the downstream queue is full propagates stalls
 	// upstream: Myrinet back-pressure.
 	l.dst.Send(p, pkt)
 	l.xmit.Release(1)
+}
+
+// sendPortal is the cross-LP egress path. The timing reproduces the
+// sequential link exactly: charge all but the lookahead's worth of delay,
+// evaluate faults at the precise arrival instant tArr = now + la (the same
+// instant the sequential path evaluates them, and in the same per-link RNG
+// draw order since xmit serializes this link's frames), post the packet for
+// arrival at tArr, then hold xmit through the remaining lookahead so the
+// next frame's serialization starts exactly when it would have
+// sequentially. The one sequential behavior this path cannot reproduce is
+// REVERSE back-pressure — a full queue on the far side stalling this
+// sender — which has zero lookahead by nature; the receiving side's
+// injector detects that case and the run records it (see CutStats).
+func (l *Link) sendPortal(p *sim.Proc, pkt *Packet, wire int, delay sim.Time) {
+	la := l.portal.Lookahead()
+	p.Delay(delay - la)
+	tArr := p.Now() + la
+	l.stats.Packets++
+	l.stats.Bytes += int64(pkt.Size())
+	l.stats.WireBytes += int64(wire)
+	if !l.applyFaults(pkt, tArr) {
+		p.Delay(la) // the wire stays busy until the frame would have landed
+		l.xmit.Release(1)
+		pkt.Release()
+		return
+	}
+	l.portal.PostAt(tArr, pkt)
+	p.Delay(la)
+	l.xmit.Release(1)
+}
+
+// applyFaults evaluates the link's fault state for a frame arriving at
+// tArr. It reports false when the frame is lost on the wire (stats and the
+// loss registry updated); corruption mutates the frame in place and lets it
+// travel on. Both Send paths call this at the frame's arrival instant, so
+// outage windows and RNG draws line up regardless of partitioning.
+func (l *Link) applyFaults(pkt *Packet, tArr sim.Time) bool {
+	f := l.faults
+	if f == nil {
+		return true
+	}
+	if f.inDown(tArr) {
+		// The link is inside an outage window: the frame vanishes on the
+		// dead wire. (A real Myrinet sender would eventually see the
+		// back-pressure deadman fire; FM treats either as frame loss.)
+		l.stats.DownDropped++
+		l.net.noteLost(pkt, LossLinkDown)
+		return false
+	}
+	if f.drop > 0 || f.corrupt > 0 {
+		// The fault RNG is built lazily on first use and seeded from
+		// (seed, link name), so links sharing one config draw
+		// uncorrelated sequences while the run stays deterministic.
+		if f.rng == nil {
+			f.rng = rand.New(rand.NewSource(linkSeed(f.seed, l.name)))
+		}
+		if f.drop > 0 && f.rng.Float64() < f.drop {
+			l.stats.Dropped++
+			l.net.noteLost(pkt, LossLinkDrop)
+			return false
+		}
+		if f.corrupt > 0 && f.rng.Float64() < f.corrupt && len(pkt.Payload) > 0 {
+			// Flip one bit in place and mark the frame as failing the
+			// link CRC. The frame is owned by the fabric at this point —
+			// senders hand ownership to the NIC — so no other reader can
+			// observe the flip before the receiving NIC discards it.
+			i := f.rng.Intn(len(pkt.Payload))
+			pkt.Payload[i] ^= 1 << uint(f.rng.Intn(8))
+			pkt.Corrupt = true
+			l.stats.Corrupted++
+		}
+	}
+	return true
 }
 
 // Stats returns a copy of the link counters.

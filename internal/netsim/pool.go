@@ -18,6 +18,8 @@
 //     loudly visible by overwriting released frames with a poison pattern.
 package netsim
 
+import "sync"
+
 // PoisonByte is the pattern PoisonOnRelease writes over released frames.
 const PoisonByte = 0xDB
 
@@ -41,11 +43,18 @@ type PoolStats struct {
 
 // FramePool recycles fixed-capacity framed packets (the Packet struct and
 // its payload backing array together). Pools are single-threaded under the
-// simulation kernel like everything else: no locking.
+// simulation kernel like everything else: no locking by default. Under the
+// parallel engine a frame can be RELEASED from a different LP's goroutine
+// than the one Getting it (receivers return frames to the sender's pool),
+// so partitioned platforms switch pools to shared mode, which guards the
+// free list with a mutex; the sequential hot path keeps its lock-free form
+// behind one predictable branch.
 type FramePool struct {
 	frameCap int // backing-array size of every frame
 	max      int // free-list bound
 	poison   bool
+	shared   bool // cross-LP Get/put: guard the free list
+	mu       sync.Mutex
 	free     []*Packet
 	stats    PoolStats
 }
@@ -67,8 +76,17 @@ func NewFramePool(frameCap, max int) *FramePool {
 // SetPoison switches poison-on-release debugging on or off.
 func (fp *FramePool) SetPoison(on bool) { fp.poison = on }
 
+// SetShared switches the pool to cross-LP (mutex-guarded) mode. Call before
+// traffic starts; partitioned platforms set it on every endpoint pool whose
+// frames can be released from another partition.
+func (fp *FramePool) SetShared(on bool) { fp.shared = on }
+
 // Stats returns a copy of the pool counters.
 func (fp *FramePool) Stats() PoolStats {
+	if fp.shared {
+		fp.mu.Lock()
+		defer fp.mu.Unlock()
+	}
 	s := fp.stats
 	s.Free = len(fp.free)
 	return s
@@ -83,6 +101,10 @@ func (fp *FramePool) FrameCap() int { return fp.frameCap }
 func (fp *FramePool) Get(n int) *Packet {
 	if n > fp.frameCap {
 		panic("netsim: frame request exceeds pool frame capacity")
+	}
+	if fp.shared {
+		fp.mu.Lock()
+		defer fp.mu.Unlock()
 	}
 	fp.stats.Gets++
 	var pkt *Packet
@@ -103,6 +125,10 @@ func (fp *FramePool) Get(n int) *Packet {
 
 // put returns a frame to the free list (Packet.Release is the public path).
 func (fp *FramePool) put(pkt *Packet) {
+	if fp.shared {
+		fp.mu.Lock()
+		defer fp.mu.Unlock()
+	}
 	fp.stats.Releases++
 	if fp.poison {
 		for i := range pkt.backing {

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -50,7 +51,15 @@ type Network struct {
 	routes [][][]uint8 // routes[src][dst]
 	links  []*Link
 	desc   string
-	lost   map[lostKey]int64 // per-flow lost-frame registry (see faults.go)
+
+	// Per-flow lost-frame registry (see faults.go). Frames are lost on
+	// whatever link the fault fires on — under a partitioned fabric that can
+	// be any LP's goroutine — so the registry is mutex-guarded; the lock is
+	// uncontended and off the clean path (loss is rare by construction).
+	lostMu sync.Mutex
+	lost   map[lostKey]int64
+
+	cut *CutMonitor // non-nil on partitioned fabrics (see partition.go)
 }
 
 // Nodes reports the number of attached nodes.

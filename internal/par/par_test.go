@@ -1,0 +1,47 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		n := 100
+		hit := make([]int32, n)
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hit[i], 1) })
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Fatal("fn called for empty range") })
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "boom") {
+			t.Fatalf("want propagated panic, got %v", r)
+		}
+	}()
+	ForEach(8, 4, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit count not honored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("auto count must be >= 1")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/par"
 )
 
 // DefaultSeed is the campaign seed used when none is given — and the seed
@@ -52,11 +54,21 @@ func RunFile(path string, campaignSeed int64) (Report, error) {
 // file is a hard error — a chaos campaign that silently skips scenarios is
 // worse than one that fails loudly.
 func RunCampaign(dir string, seed int64) (*Campaign, error) {
+	return RunCampaignN(dir, seed, 1)
+}
+
+// RunCampaignN is RunCampaign sharded over `workers` OS threads (0 = one
+// per CPU). Every scenario is an independent replica — it builds its own
+// kernel and derives every RNG stream from (campaign seed, scenario name)
+// — so the merged report is byte-identical to the sequential runner's no
+// matter the worker count: results land in the slice slot filename order
+// assigned, not completion order.
+func RunCampaignN(dir string, seed int64, workers int) (*Campaign, error) {
 	entries, err := os.ReadDir(dir) // sorted by filename
 	if err != nil {
 		return nil, err
 	}
-	c := &Campaign{Seed: seed}
+	var specs []Spec
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".json") || name == GoldenName {
@@ -66,15 +78,19 @@ func RunCampaign(dir string, seed int64) (*Campaign, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := Run(spec, seed)
-		c.Scenarios = append(c.Scenarios, rep)
-		c.Total++
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("scenario: no scenario files in %s", dir)
+	}
+	c := &Campaign{Seed: seed, Scenarios: make([]Report, len(specs)), Total: len(specs)}
+	par.ForEach(len(specs), workers, func(i int) {
+		c.Scenarios[i] = Run(specs[i], seed)
+	})
+	for _, rep := range c.Scenarios {
 		if !rep.Passed {
 			c.Failed++
 		}
-	}
-	if c.Total == 0 {
-		return nil, fmt.Errorf("scenario: no scenario files in %s", dir)
 	}
 	c.Passed = c.Failed == 0
 	return c, nil

@@ -258,6 +258,27 @@ func TestSmokeCampaignMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestShardedCampaignMatchesSequential pins the replica-parallel contract:
+// RunCampaignN merges per-scenario reports in filename order, so its bytes
+// must equal the one-worker runner's (and hence the committed golden) no
+// matter how many OS threads execute the scenarios.
+func TestShardedCampaignMatchesSequential(t *testing.T) {
+	dir := filepath.Join("..", "..", "campaigns", "smoke")
+	seq, err := RunCampaignN(dir, DefaultSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 0} {
+		shard, err := RunCampaignN(dir, DefaultSeed, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seq.Marshal(), shard.Marshal()) {
+			t.Fatalf("workers=%d: sharded campaign bytes diverge from sequential", workers)
+		}
+	}
+}
+
 func TestLoadSpecRejectsUnknownFields(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "typo.json")

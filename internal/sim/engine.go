@@ -1,0 +1,335 @@
+// Parallel conservative PDES engine.
+//
+// An Engine runs several logical processes (LPs) — each an ordinary Kernel
+// with its own event heap, virtual clock, and Procs — on real goroutines,
+// synchronized by a LOWER-BOUND-TIME-STAMP WINDOW BARRIER (the YAWNS family
+// of conservative algorithms). Of the two classic conservative schemes:
+//
+//   - Null messages (Chandy/Misra/Bryant) send per-link lookahead promises;
+//     on this fabric every partition exchanges traffic with every other
+//     (dense trunk graph), so null-message traffic is O(LPs²) per lookahead
+//     interval and the promises carry no more information than the global
+//     bound below.
+//
+//   - An LBTS window barrier computes, at a global barrier, the earliest
+//     instant any LP could possibly be influenced by another — and lets
+//     every LP run concurrently up to (but excluding) that instant.
+//
+// We use the window barrier. Each round the engine computes
+//
+//	W = min(next event time over all LPs) + min(portal lookahead)
+//
+// and runs every LP's kernel through RunBefore(W) in parallel. Any message
+// an LP emits during the round is stamped at its send time plus at least the
+// portal's lookahead, so its arrival is >= W — it cannot land inside the
+// window being executed, only in a later one. Cross-LP messages are staged
+// in Portals during the round and flushed into destination heaps at the
+// barrier, on the engine goroutine, in a canonical (portal registration,
+// send order) order — so the merge order, and therefore the virtual-time
+// execution, is identical on every run regardless of goroutine scheduling.
+//
+// Determinism vs the sequential kernel: within one LP, scheduling is the
+// sequential kernel's own (t, seq) total order, untouched. Across LPs, the
+// window proof above means every event executes at the same virtual time it
+// would have sequentially as long as cross-LP interactions carry real
+// lookahead. The one model feature with ZERO lookahead is reverse
+// back-pressure — a sender parked on a remote queue wakes at the instant the
+// remote drains — so the netsim partition layer severs blocking at the cut
+// and counts the (rare, congestion-only) cases where timing could diverge;
+// see netsim's cut monitor for the per-run certificate.
+//
+// An Engine with no portals degenerates to an ensemble of fully independent
+// replicas: no barriers at all, each LP runs to completion concurrently.
+// That mode is trivially bit-identical and is what the campaign and perf
+// sharding use.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LP is one logical process: a labeled Kernel plus its worker goroutine.
+type LP struct {
+	ID   int
+	Name string
+	K    *Kernel
+
+	eng *Engine
+	cmd chan Time // window bound; 0 = run to completion
+	err error
+}
+
+// Engine owns a set of LPs and drives their window-barrier rounds.
+type Engine struct {
+	lps     []*LP
+	portals []portal
+	la      Time // min lookahead over all portals
+	wg      sync.WaitGroup
+	started bool
+	done    bool
+}
+
+// portal is the engine-facing face of a Portal[T] (flush at the barrier).
+type portal interface {
+	flushStaged()
+	lookahead() Time
+}
+
+// NewEngine creates an empty engine. Add LPs, build the model on their
+// kernels, then call Run.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// AddLP creates a logical process with its own kernel. All LPs must be added
+// before Run.
+func (e *Engine) AddLP(name string) *LP {
+	if e.started {
+		panic("sim: AddLP after Engine.Run")
+	}
+	k := NewKernel()
+	k.SetLabel(name)
+	lp := &LP{ID: len(e.lps), Name: name, K: k, eng: e, cmd: make(chan Time, 1)}
+	e.lps = append(e.lps, lp)
+	return lp
+}
+
+// LPs returns the engine's logical processes in ID order.
+func (e *Engine) LPs() []*LP { return e.lps }
+
+// Lookahead reports the engine's window increment: the minimum lookahead
+// over all registered portals (0 with no portals — replica mode).
+func (e *Engine) Lookahead() Time { return e.la }
+
+// Events reports the total events scheduled across all LPs.
+func (e *Engine) Events() uint64 {
+	var n uint64
+	for _, lp := range e.lps {
+		n += lp.K.Events()
+	}
+	return n
+}
+
+// Now reports the maximum LP clock — how far the furthest partition has
+// progressed. Individual LP clocks are on lp.K.Now().
+func (e *Engine) Now() Time {
+	var t Time
+	for _, lp := range e.lps {
+		if n := lp.K.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+func (e *Engine) addPortal(p portal) {
+	if e.started {
+		panic("sim: portal registered after Engine.Run")
+	}
+	la := p.lookahead()
+	if la < Nanosecond {
+		panic("sim: portal lookahead must be at least 1ns")
+	}
+	if e.la == 0 || la < e.la {
+		e.la = la
+	}
+	e.portals = append(e.portals, p)
+}
+
+// startWorkers spawns one persistent worker goroutine per LP. A worker
+// executes exactly one kernel and sleeps between windows; the engine
+// goroutine owns all cross-LP state (portals, heap inspection) while
+// workers are parked, with the cmd send / WaitGroup pair providing the
+// happens-before edges.
+func (e *Engine) startWorkers() {
+	e.started = true
+	for _, lp := range e.lps {
+		lp := lp
+		go func() {
+			for w := range lp.cmd {
+				if w == 0 {
+					lp.err = lp.K.Run()
+				} else {
+					lp.err = lp.K.RunBefore(w)
+				}
+				e.wg.Done()
+			}
+		}()
+	}
+}
+
+// Run drives all LPs to completion: the parallel analogue of Kernel.Run.
+// It returns nil on a clean drain, the first LP's failure (in LP ID order)
+// after a panic or Stop, or a composite deadlock report naming every LP
+// that still holds live Procs along with its local virtual time.
+func (e *Engine) Run() error { return e.run(0) }
+
+// RunUntil is the parallel analogue of Kernel.RunUntil: no LP clock
+// advances past t, events at exactly t still execute, and a horizon pause
+// returns nil with all Procs parked resumably. Call Shutdown to unwind a
+// paused engine that will not be resumed.
+func (e *Engine) RunUntil(t Time) error { return e.run(t) }
+
+func (e *Engine) run(horizon Time) error {
+	if e.done {
+		panic("sim: Engine reused after completion")
+	}
+	if !e.started {
+		e.startWorkers()
+	}
+	if len(e.portals) == 0 {
+		return e.runReplicas(horizon)
+	}
+	for {
+		next, ok := e.nextEventTime()
+		if !ok {
+			break // every heap drained
+		}
+		if horizon != 0 && next > horizon {
+			// Horizon pause: align clocks so diagnostics (watchdogs) see
+			// every LP at the barrier time, exactly as RunUntil leaves the
+			// sequential clock at its horizon.
+			for _, lp := range e.lps {
+				lp.K.advanceTo(horizon)
+			}
+			return nil
+		}
+		w := next + e.la
+		if horizon != 0 && w > horizon+1 {
+			// Clamp so events at exactly the horizon still run (inclusive
+			// bound), but nothing beyond.
+			w = horizon + 1
+		}
+		if err := e.window(w); err != nil {
+			e.Shutdown()
+			return err
+		}
+		for _, p := range e.portals {
+			p.flushStaged()
+		}
+	}
+	return e.finish(horizon)
+}
+
+// window runs every LP with work below w through one concurrent round.
+func (e *Engine) window(w Time) error {
+	n := 0
+	for _, lp := range e.lps {
+		if t, ok := lp.K.NextEventTime(); ok && t < w {
+			e.wg.Add(1)
+			lp.cmd <- w
+			n++
+		}
+	}
+	if n > 0 {
+		e.wg.Wait()
+	}
+	for _, lp := range e.lps {
+		if lp.err != nil {
+			return lp.err
+		}
+	}
+	return nil
+}
+
+// runReplicas is the no-portal fast path: every LP is an independent closed
+// simulation, so run each to completion with no barriers at all.
+func (e *Engine) runReplicas(horizon Time) error {
+	for _, lp := range e.lps {
+		e.wg.Add(1)
+		if horizon != 0 {
+			lp.cmd <- horizon + 1 // RunBefore(h+1): events at h inclusive
+		} else {
+			lp.cmd <- 0
+		}
+	}
+	e.wg.Wait()
+	if horizon != 0 {
+		for _, lp := range e.lps {
+			if lp.err != nil {
+				e.Shutdown()
+				return lp.err
+			}
+			lp.K.advanceTo(horizon)
+		}
+		return nil
+	}
+	return e.finish(horizon)
+}
+
+// finish classifies a fully-drained engine exactly as Kernel.run does a
+// drained kernel: failure first, then deadlock, then clean.
+func (e *Engine) finish(horizon Time) error {
+	var firstErr error
+	live := 0
+	for _, lp := range e.lps {
+		if lp.err != nil && firstErr == nil {
+			firstErr = lp.err
+		}
+		live += lp.K.Live()
+	}
+	if firstErr != nil {
+		e.Shutdown()
+		return firstErr
+	}
+	if horizon != 0 {
+		return nil // resumable pause (queues drained early)
+	}
+	if live > 0 {
+		err := fmt.Errorf("%w: %s", ErrDeadlock, e.hangReport())
+		e.Shutdown()
+		return err
+	}
+	e.done = true
+	e.stopWorkers()
+	return nil
+}
+
+// hangReport names every LP still holding live Procs with its local virtual
+// time: the partition-aware form of Kernel.liveNames.
+func (e *Engine) hangReport() string {
+	s := ""
+	for _, lp := range e.lps {
+		if lp.K.Live() == 0 {
+			continue
+		}
+		if s != "" {
+			s += "; "
+		}
+		s += fmt.Sprintf("lp %s @ %v: %s", lp.Name, lp.K.Now(), lp.K.LiveNames())
+	}
+	return s
+}
+
+// nextEventTime is the minimum pending event time across all LPs.
+func (e *Engine) nextEventTime() (Time, bool) {
+	var min Time
+	found := false
+	for _, lp := range e.lps {
+		if t, ok := lp.K.NextEventTime(); ok && (!found || t < min) {
+			min, found = t, true
+		}
+	}
+	return min, found
+}
+
+// Shutdown unwinds every LP's remaining Procs and retires the worker
+// goroutines. The engine is unusable afterwards.
+func (e *Engine) Shutdown() {
+	for _, lp := range e.lps {
+		lp.K.Shutdown()
+	}
+	e.done = true
+	e.stopWorkers()
+}
+
+func (e *Engine) stopWorkers() {
+	if !e.started {
+		return
+	}
+	for _, lp := range e.lps {
+		close(lp.cmd)
+	}
+	e.started = false
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// pingPong builds a two-party token exchange where each leg crosses between
+// the parties with wire latency `lat`: the smallest model with a genuine
+// cross-LP dependency chain. send delivers v to the other side at now+lat.
+// Returns the recorded receive timestamps on both sides after the run.
+func pingPongFused(rounds int, lat Time) ([]Time, []Time) {
+	k := NewKernel()
+	chA := NewChan[int](k, 8)
+	chB := NewChan[int](k, 8)
+	var gotA, gotB []Time
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			v := i
+			k.At(p.Now()+lat, func() { chB.TrySend(v) })
+			got := chA.Recv(p)
+			gotA = append(gotA, p.Now())
+			if got != i {
+				panic("order")
+			}
+			p.Delay(30 * Nanosecond)
+		}
+	})
+	k.SpawnDaemon("b", func(p *Proc) {
+		for {
+			v := chB.Recv(p)
+			gotB = append(gotB, p.Now())
+			p.Delay(70 * Nanosecond)
+			k.At(p.Now()+lat, func() { chA.TrySend(v) })
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return gotA, gotB
+}
+
+func pingPongSplit(rounds int, lat Time) ([]Time, []Time, *Engine) {
+	e := NewEngine()
+	lpA := e.AddLP("a")
+	lpB := e.AddLP("b")
+	chA := NewChan[int](lpA.K, 8)
+	chB := NewChan[int](lpB.K, 8)
+	toB := NewPortal[int]("a->b", lpA, lpB, lat, func(t Time, v int) { chB.TrySend(v) })
+	toA := NewPortal[int]("b->a", lpB, lpA, lat, func(t Time, v int) { chA.TrySend(v) })
+	var gotA, gotB []Time
+	lpA.K.Spawn("a", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			toB.Post(p, i)
+			got := chA.Recv(p)
+			gotA = append(gotA, p.Now())
+			if got != i {
+				panic("order")
+			}
+			p.Delay(30 * Nanosecond)
+		}
+	})
+	lpB.K.SpawnDaemon("b", func(p *Proc) {
+		for {
+			v := chB.Recv(p)
+			gotB = append(gotB, p.Now())
+			p.Delay(70 * Nanosecond)
+			toA.Post(p, v)
+		}
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return gotA, gotB, e
+}
+
+// TestEngineSplitMatchesFused is the core conformance property: the same
+// model partitioned across two LPs with lookahead-bearing portals produces
+// the exact virtual-time trace of the fused sequential run.
+func TestEngineSplitMatchesFused(t *testing.T) {
+	const rounds = 500
+	const lat = 150 * Nanosecond
+	fa, fb := pingPongFused(rounds, lat)
+	sa, sb, e := pingPongSplit(rounds, lat)
+	if len(fa) != rounds || len(fb) != rounds {
+		t.Fatalf("fused run incomplete: %d/%d receives", len(fa), len(fb))
+	}
+	for i := range fa {
+		if sa[i] != fa[i] {
+			t.Fatalf("side A receive %d: split %v, fused %v", i, sa[i], fa[i])
+		}
+		if sb[i] != fb[i] {
+			t.Fatalf("side B receive %d: split %v, fused %v", i, sb[i], fb[i])
+		}
+	}
+	if e.Lookahead() != lat {
+		t.Fatalf("engine lookahead %v, want %v", e.Lookahead(), lat)
+	}
+}
+
+// TestEngineReplicaMode: an engine with no portals runs every LP as an
+// independent replica, each producing its sequential result.
+func TestEngineReplicaMode(t *testing.T) {
+	e := NewEngine()
+	const n = 4
+	ends := make([]Time, n)
+	for i := 0; i < n; i++ {
+		i := i
+		lp := e.AddLP(fmt.Sprintf("rep%d", i))
+		lp.K.Spawn("work", func(p *Proc) {
+			for j := 0; j <= i; j++ {
+				p.Delay(Microsecond)
+			}
+			ends[i] = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if want := Time(i+1) * Microsecond; ends[i] != want {
+			t.Fatalf("replica %d ended at %v, want %v", i, ends[i], want)
+		}
+	}
+}
+
+// TestEngineDeadlockNamesLPs: a cross-LP hang must name every stuck LP and
+// its local virtual time (the partition-aware hang diagnostic).
+func TestEngineDeadlockNamesLPs(t *testing.T) {
+	e := NewEngine()
+	lpA := e.AddLP("part0")
+	lpB := e.AddLP("part1")
+	// A portal so the engine runs in window mode, not replica mode.
+	NewPortal[int]("x", lpA, lpB, 100*Nanosecond, func(Time, int) {})
+	var sigA, sigB Signal
+	lpA.K.Spawn("stuckA", func(p *Proc) {
+		p.Delay(3 * Microsecond)
+		sigA.Wait(p)
+	})
+	lpB.K.Spawn("stuckB", func(p *Proc) {
+		p.Delay(7 * Microsecond)
+		sigB.Wait(p)
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"lp part0 @ 3.000us: stuckA", "lp part1 @ 7.000us: stuckB"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("deadlock report %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestEngineFailureNamesLP: a Proc panic inside one LP surfaces as that
+// LP-labeled failure from Engine.Run.
+func TestEngineFailureNamesLP(t *testing.T) {
+	e := NewEngine()
+	lpA := e.AddLP("part0")
+	lpB := e.AddLP("part1")
+	NewPortal[int]("x", lpA, lpB, 100*Nanosecond, func(Time, int) {})
+	lpA.K.Spawn("idle", func(p *Proc) { p.Delay(Microsecond) })
+	lpB.K.Spawn("bomb", func(p *Proc) {
+		p.Delay(500 * Nanosecond)
+		panic("boom")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), `[lp part1 @ 500ns] proc "bomb" panicked: boom`) {
+		t.Fatalf("want LP-labeled panic, got %v", err)
+	}
+}
+
+// TestEngineRunUntil: horizon pauses are resumable and align every LP clock
+// to the horizon, exactly as the sequential RunUntil leaves its clock.
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	lpA := e.AddLP("part0")
+	lpB := e.AddLP("part1")
+	NewPortal[int]("x", lpA, lpB, 100*Nanosecond, func(Time, int) {})
+	var doneA, doneB Time
+	lpA.K.Spawn("a", func(p *Proc) {
+		p.Delay(10 * Microsecond)
+		doneA = p.Now()
+	})
+	lpB.K.Spawn("b", func(p *Proc) {
+		p.Delay(4 * Microsecond)
+		doneB = p.Now()
+	})
+	if err := e.RunUntil(2 * Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if doneA != 0 || doneB != 0 {
+		t.Fatal("work completed before its time")
+	}
+	for _, lp := range e.LPs() {
+		if lp.K.Now() != 2*Microsecond {
+			t.Fatalf("lp %s clock %v at horizon 2us", lp.Name, lp.K.Now())
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneA != 10*Microsecond || doneB != 4*Microsecond {
+		t.Fatalf("resume incomplete: a=%v b=%v", doneA, doneB)
+	}
+}
+
+// TestRunBeforeStrictBound: RunBefore executes strictly below its bound and
+// leaves the clock at the last executed event, not the bound.
+func TestRunBeforeStrictBound(t *testing.T) {
+	k := NewKernel()
+	var ran []Time
+	k.At(5, func() { ran = append(ran, 5) })
+	k.At(10, func() { ran = append(ran, 10) })
+	if err := k.RunBefore(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 1 || ran[0] != 5 {
+		t.Fatalf("RunBefore(10) ran %v, want [5ns]", ran)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("clock %v after strict window, want 5ns", k.Now())
+	}
+	if nt, ok := k.NextEventTime(); !ok || nt != 10 {
+		t.Fatalf("next event %v/%v, want 10ns", nt, ok)
+	}
+	if err := k.RunBefore(11); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 2 || ran[1] != 10 {
+		t.Fatalf("second window ran %v", ran)
+	}
+}
+
+// TestPortalLookaheadEnforced: a post faster than the portal's lookahead is
+// a model bug and must be caught, not silently reordered.
+func TestPortalLookaheadEnforced(t *testing.T) {
+	e := NewEngine()
+	lpA := e.AddLP("part0")
+	lpB := e.AddLP("part1")
+	pt := NewPortal[int]("x", lpA, lpB, 100*Nanosecond, func(Time, int) {})
+	lpB.K.Spawn("idle", func(p *Proc) { p.Delay(Microsecond) })
+	lpA.K.Spawn("cheat", func(p *Proc) {
+		p.Delay(Microsecond)
+		pt.PostAt(p.Now()+99*Nanosecond, 1) // 1ns short of the lookahead
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "violates lookahead") {
+		t.Fatalf("want lookahead violation, got %v", err)
+	}
+}
+
+// TestEngineSequentialLabelsUnchanged: an unlabeled kernel's deadlock text
+// must remain byte-identical to the historical format — scenario watchdog
+// reports golden-pin it.
+func TestEngineSequentialLabelsUnchanged(t *testing.T) {
+	k := NewKernel()
+	var sig Signal
+	k.Spawn("stuck", func(p *Proc) { sig.Wait(p) })
+	err := k.Run()
+	want := "sim: deadlock: live processes with empty event queue: stuck"
+	if err == nil || err.Error() != want {
+		t.Fatalf("sequential deadlock text changed: %q, want %q", err, want)
+	}
+}

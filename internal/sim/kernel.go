@@ -124,6 +124,8 @@ type Kernel struct {
 	unwinding bool
 	failure   error
 	horizon   Time // 0 = unbounded
+	strict    bool // horizon is exclusive (RunBefore window bound)
+	label     string
 }
 
 // NewKernel returns an empty simulation at virtual time zero.
@@ -137,6 +139,50 @@ func NewKernel() *Kernel {
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetLabel names the kernel for diagnostics. The parallel engine labels each
+// logical process's kernel; an unlabeled (sequential) kernel reports errors
+// with the exact byte strings it always has.
+func (k *Kernel) SetLabel(s string) { k.label = s }
+
+// Label reports the kernel's diagnostic label ("" for a sequential kernel).
+func (k *Kernel) Label() string { return k.label }
+
+// ctx is the diagnostic prefix: empty for an unlabeled kernel — sequential
+// failure and hang reports must stay byte-identical — and "[lp <name> @ <t>] "
+// for an LP kernel, so a report from a partitioned run names the owning LP
+// and its local virtual time.
+func (k *Kernel) ctx() string {
+	if k.label == "" {
+		return ""
+	}
+	return fmt.Sprintf("[lp %s @ %v] ", k.label, k.now)
+}
+
+// NextEventTime reports the timestamp of the earliest pending event. ok is
+// false when the queue is empty. The parallel engine reads this to compute
+// the lower bound on any future cross-LP message.
+func (k *Kernel) NextEventTime() (t Time, ok bool) {
+	if len(k.eq) == 0 {
+		return 0, false
+	}
+	return k.eq[0].t, true
+}
+
+// Live reports the number of live non-daemon Procs.
+func (k *Kernel) Live() int { return k.live }
+
+// LiveNames reports the sorted names of live non-daemon Procs (diagnostics).
+func (k *Kernel) LiveNames() string { return k.liveNames() }
+
+// advanceTo moves the clock forward to t without executing anything: the
+// engine aligns idle LP clocks to a window barrier so hang reports show
+// where each LP had provably progressed to, never backwards.
+func (k *Kernel) advanceTo(t Time) {
+	if t > k.now {
+		k.now = t
+	}
+}
 
 // Events reports the cumulative count of events scheduled since creation —
 // the denominator of the wall-clock events/sec metric the perf suite tracks.
@@ -198,6 +244,23 @@ func (k *Kernel) Run() error { return k.run(0) }
 // events at exactly t still execute.
 func (k *Kernel) RunUntil(t Time) error { return k.run(t) }
 
+// RunBefore drives the simulation through every event with timestamp
+// STRICTLY below limit, then pauses resumably with events at or past limit
+// still queued. This is the parallel engine's window primitive: with Time an
+// integer nanosecond count, a conservative window [W0, W) must exclude its
+// upper bound or two LPs could both execute events at exactly W that
+// cross-influence each other. Unlike RunUntil, the clock is left at the last
+// executed event, not pulled up to the bound — the engine aligns idle clocks
+// itself.
+func (k *Kernel) RunBefore(limit Time) error {
+	if limit <= 0 {
+		panic("sim: RunBefore needs a positive bound")
+	}
+	k.strict = true
+	defer func() { k.strict = false }()
+	return k.run(limit)
+}
+
 func (k *Kernel) run(horizon Time) error {
 	k.horizon = horizon
 	// Prime the handoff chain on this goroutine; dispatch either terminates
@@ -220,7 +283,7 @@ func (k *Kernel) run(horizon Time) error {
 		return ErrStopped
 	}
 	if k.live > 0 {
-		return fmt.Errorf("%w: %s", ErrDeadlock, k.liveNames())
+		return fmt.Errorf("%w: %s%s", ErrDeadlock, k.ctx(), k.liveNames())
 	}
 	return nil
 }
@@ -237,11 +300,14 @@ func (k *Kernel) dispatch() {
 			return
 		}
 		ev := k.eq.pop()
-		if k.horizon != 0 && ev.t > k.horizon {
+		if k.horizon != 0 && (ev.t > k.horizon || (k.strict && ev.t >= k.horizon)) {
 			// Past the horizon: put it back (seq preserved) and stop the
-			// clock here.
+			// clock here. A strict horizon (RunBefore window) excludes its
+			// bound and leaves the clock at the last executed event.
 			k.eq.push(ev)
-			k.now = k.horizon
+			if !k.strict {
+				k.now = k.horizon
+			}
 			k.doneCh <- struct{}{}
 			return
 		}
@@ -271,7 +337,7 @@ func (k *Kernel) dispatch() {
 func (k *Kernel) runFn(fn func()) {
 	defer func() {
 		if r := recover(); r != nil {
-			k.fail(fmt.Errorf("sim: driver event panicked: %v\n%s", r, debug.Stack()))
+			k.fail(fmt.Errorf("sim: %sdriver event panicked: %v\n%s", k.ctx(), r, debug.Stack()))
 		}
 	}()
 	fn()
@@ -386,7 +452,7 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 			k.running = nil
 			if r := recover(); r != nil {
 				if _, ok := r.(procKilled); !ok {
-					k.fail(fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack()))
+					k.fail(fmt.Errorf("sim: %sproc %q panicked: %v\n%s", k.ctx(), p.name, r, debug.Stack()))
 				}
 			}
 			if k.unwinding {

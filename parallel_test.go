@@ -1,0 +1,134 @@
+// Parallel-engine conformance at the public API: the same MPI workload on
+// the same fat tree must produce bit-identical per-rank results and
+// virtual-time trajectories whether the cluster runs fused on one kernel
+// or partitioned across LPs with WithParallel.
+package fmnet_test
+
+import (
+	"encoding/binary"
+	"os"
+	"testing"
+
+	fmnet "repro"
+)
+
+// mpiTrace is one rank's observable outcome: the allreduce result, the
+// byte its ring neighbor passed it, and the virtual instant it finished.
+type mpiTrace struct {
+	Sum  uint32
+	Ring byte
+	End  fmnet.Time
+}
+
+// runMPIWorkload assembles a fat-tree MPI session with `parallel` LPs
+// (0 = sequential) and drives every rank through a barrier, an allreduce,
+// and a ring exchange. It returns the per-rank traces and whether the
+// run's exactness certificate held.
+func runMPIWorkload(t *testing.T, nodes, parallel int) ([]mpiTrace, bool) {
+	t.Helper()
+	// Full bisection + deep port queues keep collective fan-in from ever
+	// filling a trunk queue — the precondition for the parallel engine's
+	// exactness certificate. Both runs share the shape, so the comparison
+	// is apples to apples.
+	opts := []fmnet.Option{
+		fmnet.Nodes(nodes), fmnet.Topology(fmnet.FatTree), fmnet.WithMPI(),
+		fmnet.WithLinkSlots(64), fmnet.WithFullBisection(),
+	}
+	if parallel > 1 {
+		opts = append(opts, fmnet.WithParallel(parallel))
+	}
+	s, err := fmnet.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := make([]mpiTrace, nodes)
+	s.SpawnRanks("work", func(rank int, p *fmnet.Proc) {
+		c := s.MPI(rank)
+		if err := c.Barrier(p); err != nil {
+			t.Error(err)
+			return
+		}
+		var send, recv [4]byte
+		binary.LittleEndian.PutUint32(send[:], uint32(rank+1))
+		if err := c.Allreduce(p, send[:], recv[:], fmnet.OpSumU32); err != nil {
+			t.Error(err)
+			return
+		}
+		traces[rank].Sum = binary.LittleEndian.Uint32(recv[:])
+
+		right := (rank + 1) % nodes
+		left := (rank + nodes - 1) % nodes
+		buf := make([]byte, 1024)
+		req, err := c.Irecv(p, buf, left, 7)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		msg := make([]byte, 1024)
+		msg[0] = byte(rank)
+		if err := c.Send(p, msg, right, 7); err != nil {
+			t.Error(err)
+			return
+		}
+		c.Wait(p, req)
+		traces[rank].Ring = buf[0]
+
+		if err := c.Barrier(p); err != nil {
+			t.Error(err)
+			return
+		}
+		traces[rank].End = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return traces, s.Fabric().Certified()
+}
+
+func checkParallelMatch(t *testing.T, nodes, parallel int) {
+	t.Helper()
+	seq, _ := runMPIWorkload(t, nodes, 0)
+	par, certified := runMPIWorkload(t, nodes, parallel)
+	if !certified {
+		t.Fatal("parallel run hit cross-partition back-pressure; the credit-windowed workload should stay congestion-free")
+	}
+	wantSum := uint32(nodes * (nodes + 1) / 2)
+	for r := range seq {
+		if seq[r].Sum != wantSum {
+			t.Fatalf("rank %d sequential allreduce = %d, want %d", r, seq[r].Sum, wantSum)
+		}
+		if seq[r] != par[r] {
+			t.Fatalf("rank %d diverged under %d LPs:\n sequential: %+v\n   parallel: %+v",
+				r, parallel, seq[r], par[r])
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the always-on conformance gate: 16
+// ranks, 2 and 4 LPs.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, parts := range []int{2, 4} {
+		checkParallelMatch(t, 16, parts)
+	}
+}
+
+// TestParallelConformance64 replays the CI fabric-conformance shape (64
+// ranks) under the parallel engine. Heavier, so gated behind the same
+// environment switch the CI parallel job sets.
+func TestParallelConformance64(t *testing.T) {
+	if os.Getenv("FMNET_PAR_CONFORMANCE") == "" {
+		t.Skip("set FMNET_PAR_CONFORMANCE=1 to run the 64-rank parallel conformance sweep")
+	}
+	for _, parts := range []int{2, 4, 8} {
+		checkParallelMatch(t, 64, parts)
+	}
+}
+
+// TestParallelRequiresFatTree pins the option contract: the partitioned
+// engine only knows how to cut a fat tree.
+func TestParallelRequiresFatTree(t *testing.T) {
+	_, err := fmnet.New(fmnet.Nodes(8), fmnet.WithMPI(), fmnet.WithParallel(2))
+	if err == nil {
+		t.Fatal("WithParallel on a single switch should fail to assemble")
+	}
+}
