@@ -17,9 +17,13 @@
 //	fmbench -mixed          # co-residency: MPI + sockets + GA sharing each node's endpoint
 //	fmbench -scenario f.json            # run one chaos scenario, report to stdout
 //	fmbench -campaign campaigns/smoke   # run a scenario directory under one seed
+//	fmbench -svc                        # RPC service-workload tail-latency sweep
+//	fmbench -svccapture t.jsonl         # capture a request trace (report to stdout)
+//	fmbench -svcreplay t.jsonl          # replay it bit-identically
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +31,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/mpifm"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -45,14 +50,21 @@ func main() {
 		perfRanks   = flag.Int("perfranks", 0, "cap the perf suite's rank counts (0 = full sweep incl. 1024)")
 		perfPar     = flag.Int("perfpar", 0, "perf suite: rerun fat-tree points on the parallel engine with this many LPs (0 = sequential only)")
 		perfBig     = flag.Int("perfbig", 0, "perf suite: add one fat-tree allreduce row at this rank count (e.g. 4096)")
-		jsonPath    = flag.String("json", "BENCH_PR8.json", "perf suite: machine-readable output path (empty = don't write)")
+		jsonPath    = flag.String("json", "BENCH_PR9.json", "perf suite: machine-readable output path (empty = don't write)")
+		svc         = flag.Bool("svc", false, "run the service-workload suite (RPC tail latency over both FM generations)")
+		svcJSON     = flag.String("svcjson", "", "svc suite: machine-readable output path (empty = don't write)")
+		svcRanks    = flag.Int("svcranks", 0, "cap the svc sweep's fleet sizes (0 = default sweep)")
+		svcReq      = flag.Int("svcreq", 0, "svc suite: per-client request count (0 = default)")
+		svcSeed     = flag.Int64("svcseed", 0, "svc suite: workload seed (0 = default)")
+		svcCapture  = flag.String("svccapture", "", "run the canonical capture workload and write its request trace here")
+		svcReplay   = flag.String("svcreplay", "", "replay a captured request trace; report JSON to stdout")
 		scenPath    = flag.String("scenario", "", "run one chaos scenario file; report JSON to stdout")
 		campDir     = flag.String("campaign", "", "run every scenario in a directory under one campaign seed")
 		campSeed    = flag.Int64("campaignseed", scenario.DefaultSeed, "campaign seed (also scopes -scenario)")
 		campOut     = flag.String("campaignout", "", "write the campaign report JSON here instead of stdout")
 		campWorkers = flag.Int("campaignpar", 1, "campaign: scenario replicas to run concurrently (0 = one per CPU); report bytes are identical at any worker count")
 		gateBase    = flag.String("gate", "", "trajectory gate: compare -gatenew against this baseline BENCH_*.json and exit nonzero on regression")
-		gateNew     = flag.String("gatenew", "BENCH_PR8.json", "trajectory gate: the new report to hold to the baseline")
+		gateNew     = flag.String("gatenew", "BENCH_PR9.json", "trajectory gate: the new report to hold to the baseline")
 		gateTol     = flag.Float64("gatetol", bench.GateTolerancePct, "trajectory gate: regression tolerance in percent")
 	)
 	flag.Parse()
@@ -72,7 +84,12 @@ func main() {
 		return
 	}
 
-	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives && !*matrix && !*topo && !*mixed && !*perf {
+	if *svcCapture != "" || *svcReplay != "" {
+		runSvcTrace(*svcCapture, *svcReplay, *svcReq, *svcSeed)
+		return
+	}
+
+	if !*all && *fig == 0 && !*tables && !*headline && !*ablation && !*collectives && !*matrix && !*topo && !*mixed && !*perf && !*svc {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -157,11 +174,68 @@ func main() {
 		}
 		cfg.ParallelLPs = *perfPar
 		cfg.BigRanks = *perfBig
-		if err := bench.WritePerfReport(w, cfg, 8, *jsonPath); err != nil {
+		if err := bench.WritePerfReport(w, cfg, 9, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "fmbench: perf report: %v\n", err)
 			os.Exit(1)
 		}
 	}
+	if *svc {
+		cfg := bench.DefaultSvcConfig()
+		if *svcRanks > 0 {
+			cfg.Ranks = capRanks(cfg.Ranks, *svcRanks)
+		}
+		if *svcReq > 0 {
+			cfg.Requests = *svcReq
+		}
+		if *svcSeed != 0 {
+			cfg.Seed = *svcSeed
+		}
+		if err := bench.WriteSvcReport(w, cfg, *svcJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "fmbench: svc report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runSvcTrace is the capture/replay entry: -svccapture runs the canonical
+// workload and writes its request trace; -svcreplay rebuilds the run from a
+// trace file. Both print the run's report JSON to stdout, so
+// capture-then-replay lets cmp(1) prove the identity.
+func runSvcTrace(capturePath, replayPath string, requests int, seed int64) {
+	var res bench.SvcResult
+	var err error
+	switch {
+	case capturePath != "":
+		if requests == 0 {
+			requests = 40
+		}
+		if seed == 0 {
+			seed = 1998
+		}
+		var f *os.File
+		if f, err = os.Create(capturePath); err == nil {
+			res, err = bench.SvcCapture(requests, seed, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+	default:
+		var f *os.File
+		if f, err = os.Open(replayPath); err == nil {
+			res, err = bench.SvcReplay(f)
+			f.Close()
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmbench: svc trace: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmbench: svc trace: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(data, '\n'))
 }
 
 // runScenarios drives the chaos layer: one scenario file or a whole
@@ -234,10 +308,16 @@ func runAblations(w *os.File) {
 	const size, msgs = 2048, 400
 	full := bench.MPI2AblationBandwidth(mpifm.Options{}, size, msgs)
 	noGather := bench.MPI2AblationBandwidth(mpifm.Options{NoGather: true}, size, msgs)
-	unpaced := bench.MPI2AblationBandwidth(mpifm.Options{Unpaced: true}, size, msgs)
 	fmt.Fprintf(w, "  full FM 2.x services      %7.2f MB/s\n", full)
 	fmt.Fprintf(w, "  gather off (assembly copy) %6.2f MB/s  (%.0f%%)\n", noGather, 100*noGather/full)
-	fmt.Fprintf(w, "  receiver pacing off        %6.2f MB/s  (%.0f%%)\n", unpaced, 100*unpaced/full)
+	// Pacing is priced with a busy receiver (40us of compute per message):
+	// with it off, the ring backlog floods the unexpected pool — a staging
+	// copy per message that pacing keeps off the host entirely.
+	lag := 40 * sim.Microsecond
+	_, pacedStats := bench.MPI2AblationOverrun(mpifm.Options{}, size, msgs, lag)
+	_, unpacedStats := bench.MPI2AblationOverrun(mpifm.Options{Unpaced: true}, size, msgs, lag)
+	fmt.Fprintf(w, "  receiver pacing (busy receiver): paced %d/%d direct, unpaced %d/%d direct (%d pool copies)\n",
+		pacedStats.Direct, msgs, unpacedStats.Direct, msgs, unpacedStats.Unexpected)
 
 	fmt.Fprintln(w, "  packet-size sweep (FM 2.x bandwidth, MB/s):")
 	mtus := []int{144, 272, 552, 1040, 1552}

@@ -93,6 +93,31 @@
 // identically under one seed; CI pins the committed smoke campaign against
 // its golden report.
 //
+// # Service workloads
+//
+// WithRPC attaches a datacenter-style request/response load generator
+// (internal/svcload) to the session: every node runs a key-sharded server,
+// and every node's client issues requests whose keys follow a seeded Zipf
+// popularity curve, fanned out to Fanout consecutive replicas and gathered
+// before the request counts as complete. Three arrival disciplines —
+// open-loop Poisson (arrivals don't wait for completions, so queueing
+// delay lands in the tail), closed-loop chains (one outstanding request
+// per client), and synchronized incast epochs (every client hits one
+// victim key on a common clock) — exercise the fabric the way a service
+// mesh does rather than the way a collective does. Latencies are recorded
+// in VIRTUAL nanoseconds into mergeable log-bucketed histograms, so
+// p50/p99/p999 are bit-deterministic functions of (workload, seed) and
+// two runs of `fmbench -svc` render byte-identical tables. Workloads can
+// be captured to a JSONL trace (header + per-request arrival rows) and
+// replayed onto a fresh cluster: a replay must reproduce the original
+// run's report exactly, which is the capture-fidelity contract CI pins
+// (`fmbench -svccapture` / `-svcreplay`). Under fault injection the
+// workload degrades honestly instead of wedging: a Drain window bounds
+// every credit-gate and completion wait, lost requests are counted
+// Abandoned and excluded from the histogram, and the rpc scenario pattern
+// (internal/scenario) asserts tail budgets (max_p99_ms, min_completed)
+// next to the chaos assertions — campaigns/svc is the committed campaign.
+//
 // # Performance
 //
 // The steady-state message path performs zero allocations, mirroring the
@@ -115,7 +140,7 @@
 // ~12M kernel events/sec, 0 allocs/op on the send path, 512- and
 // 1024-rank collectives on the multi-stage fabrics — are measured by
 // `fmbench -perf`, which writes the machine-readable trajectory to
-// BENCH_PR8.json; CI pins the zero-alloc invariants in an alloc-gate job
+// BENCH_PR9.json; CI pins the zero-alloc invariants in an alloc-gate job
 // and holds each PR's report to the previous one (fmbench -gate).
 //
 // # Parallel engine

@@ -38,6 +38,7 @@ import (
 	"repro/internal/shmem"
 	"repro/internal/sim"
 	"repro/internal/sockfm"
+	"repro/internal/svcload"
 	"repro/internal/xport"
 )
 
@@ -76,6 +77,22 @@ type (
 	ShmemNode = shmem.Node
 	// Array is one rank's handle onto a block-distributed global array.
 	Array = garr.Array
+	// RPCFleet is the datacenter service-workload layer: one shard server
+	// and one load-generating client per node, reporting virtual-time tail
+	// latency (see Session.RPC).
+	RPCFleet = svcload.Fleet
+	// RPCConfig is the shard server's cost model.
+	RPCConfig = svcload.ServiceConfig
+	// RPCWorkload describes one generated request stream (arrival mode,
+	// rate, fan-out, key skew, payload sizes).
+	RPCWorkload = svcload.Workload
+	// RPCArrival is the workload's arrival discipline (RPCOpen/RPCClosed/
+	// RPCIncast).
+	RPCArrival = svcload.Mode
+	// RPCResult is a finished workload's deterministic report.
+	RPCResult = svcload.Result
+	// RPCTrace is a captured request schedule, replayable bit-identically.
+	RPCTrace = svcload.Trace
 
 	// Fabric is the assembled network, exposed for fault and loss inspection.
 	Fabric = netsim.Network
@@ -95,6 +112,16 @@ type (
 const (
 	AnySource = mpifm.AnySource
 	AnyTag    = mpifm.AnyTag
+)
+
+// RPC arrival modes, re-exported.
+const (
+	// RPCOpen is open-loop Poisson arrivals (coordinated-omission-free).
+	RPCOpen = svcload.ModeOpen
+	// RPCClosed keeps one outstanding request per client.
+	RPCClosed = svcload.ModeClosed
+	// RPCIncast synchronizes every client onto one hot key.
+	RPCIncast = svcload.ModeIncast
 )
 
 // Virtual-time units, re-exported.
@@ -166,6 +193,8 @@ type config struct {
 	sockets  bool
 	shm      bool
 	gaSize   int
+	rpc      bool
+	rpcCfg   svcload.ServiceConfig
 	custom   []string
 	faults   *netsim.FaultPlan
 	poison   bool
@@ -211,6 +240,14 @@ func WithShmem() Option { return func(c *config) { c.shm = true } }
 // WithGlobalArray attaches the Global Arrays service with one
 // block-distributed float64 array of the given global element count.
 func WithGlobalArray(size int) Option { return func(c *config) { c.gaSize = size } }
+
+// WithRPC attaches the datacenter RPC service-workload layer: a shard
+// server and a load-generating client per node, co-resident with the other
+// services on the shared endpoint. A zero cfg uses the default cost model
+// (2us per request). Plan a workload on Session.RPC() before Run.
+func WithRPC(cfg RPCConfig) Option {
+	return func(c *config) { c.rpc, c.rpcCfg = true, cfg }
+}
 
 // WithService attaches a custom named service: every node gets a
 // HandlerSpace (via Session.Space) to register raw FM-style handlers on.
@@ -263,6 +300,7 @@ type Session struct {
 	socks  []*sockfm.Stack
 	shms   []*shmem.Node
 	arrays []*garr.Array
+	rpc    *svcload.Fleet
 	custom map[string][]*xport.HandlerSpace
 }
 
@@ -274,10 +312,11 @@ func New(opts ...Option) (*Session, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if !cfg.mpi && !cfg.sockets && !cfg.shm && cfg.gaSize == 0 && len(cfg.custom) == 0 {
-		return nil, errors.New("fmnet: no services requested; add WithMPI/WithSockets/WithShmem/WithGlobalArray/WithService")
+	if !cfg.mpi && !cfg.sockets && !cfg.shm && cfg.gaSize == 0 && !cfg.rpc && len(cfg.custom) == 0 {
+		return nil, errors.New("fmnet: no services requested; add WithMPI/WithSockets/WithShmem/WithGlobalArray/WithRPC/WithService")
 	}
-	seen := map[string]bool{mpifm.Service: true, sockfm.Service: true, shmem.Service: true, garr.Service: true}
+	seen := map[string]bool{mpifm.Service: true, sockfm.Service: true, shmem.Service: true,
+		garr.Service: true, svcload.Service: true}
 	for _, name := range cfg.custom {
 		if seen[name] {
 			return nil, fmt.Errorf("fmnet: duplicate or reserved service name %q", name)
@@ -362,6 +401,13 @@ func New(opts ...Option) (*Session, error) {
 			}
 			s.arrays[i] = a
 		}
+	}
+	if cfg.rpc {
+		rc := cfg.rpcCfg
+		if (rc == svcload.ServiceConfig{}) {
+			rc = svcload.DefaultServiceConfig()
+		}
+		s.rpc = svcload.Attach(spaces(svcload.Service), rc)
 	}
 	for _, name := range cfg.custom {
 		s.custom[name] = spaces(name)
@@ -452,6 +498,22 @@ func (s *Session) Array(node int) *Array {
 		return nil
 	}
 	return s.arrays[node]
+}
+
+// RPC returns the service-workload fleet, or nil without WithRPC. Plan a
+// workload before Run, spawn the per-node drivers with SpawnRPC (or call
+// Fleet.RunNode from your own procs), then read Fleet.Result after Run.
+func (s *Session) RPC() *RPCFleet { return s.rpc }
+
+// SpawnRPC starts the fleet's per-node driver processes: the idiomatic way
+// to run a planned RPC workload on a session.
+func (s *Session) SpawnRPC() {
+	for node := 0; node < s.Nodes(); node++ {
+		node := node
+		s.pl.KernelOf(node).Spawn(fmt.Sprintf("rpc.%d", node), func(p *Proc) {
+			s.rpc.RunNode(p, node)
+		})
+	}
 }
 
 // Space returns a node's HandlerSpace for a custom service registered with

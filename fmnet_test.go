@@ -5,6 +5,7 @@ package fmnet_test
 import (
 	"bytes"
 	"io"
+	"reflect"
 	"testing"
 
 	fmnet "repro"
@@ -253,5 +254,56 @@ func TestSessionDeterminism(t *testing.T) {
 	}
 	if t1, t2 := run(), run(); t1 != t2 {
 		t.Errorf("session nondeterministic: %v vs %v", t1, t2)
+	}
+}
+
+// TestSessionRPC: the service-workload layer through the public façade,
+// co-resident with MPI on the shared endpoints.
+func TestSessionRPC(t *testing.T) {
+	run := func() fmnet.RPCResult {
+		s, err := fmnet.New(fmnet.Nodes(4), fmnet.WithMPI(), fmnet.WithRPC(fmnet.RPCConfig{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RPC().Plan(fmnet.RPCWorkload{
+			Mode: fmnet.RPCOpen, Requests: 20, RateRPS: 40_000,
+			Fanout: 2, Keyspace: 32, ZipfS: 1.1, RespBytes: 128, Seed: 1998,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		s.SpawnRPC()
+		// MPI shares the fabric with the RPC fleet.
+		s.SpawnRanks("mpi", func(rank int, p *fmnet.Proc) {
+			if err := s.MPI(rank).Barrier(p); err != nil {
+				t.Error(err)
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.RPC().Result()
+	}
+	res := run()
+	if res.Completed != 4*20 || len(res.Errors) > 0 {
+		t.Fatalf("completed %d (errors %v), want %d", res.Completed, res.Errors, 4*20)
+	}
+	if res.P99NS < res.P50NS || res.P50NS <= 0 {
+		t.Fatalf("bad quantiles: p50 %d p99 %d", res.P50NS, res.P99NS)
+	}
+	if !reflect.DeepEqual(res, run()) {
+		t.Fatal("RPC session result not deterministic across runs")
+	}
+
+	// "rpc" is a reserved service name now.
+	if _, err := fmnet.New(fmnet.Nodes(2), fmnet.WithService("rpc")); err == nil {
+		t.Error("reserved service name \"rpc\" accepted")
+	}
+	// Without WithRPC the accessor is nil.
+	s, err := fmnet.New(fmnet.Nodes(2), fmnet.WithMPI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RPC() != nil {
+		t.Error("RPC() non-nil without WithRPC")
 	}
 }

@@ -15,10 +15,55 @@ import (
 // MPI2AblationBandwidth measures streaming MPI-FM 2.0 bandwidth with the
 // given service selection.
 func MPI2AblationBandwidth(opt mpifm.Options, size, msgs int) float64 {
+	mbps, _ := MPI2AblationProfile(opt, size, msgs)
+	return mbps
+}
+
+// MPI2AblationProfile measures the same stream and also returns the
+// receiver's MPI-layer stats: Direct vs Unexpected is the copy-count story
+// the pacing ablation turns on and off.
+func MPI2AblationProfile(opt mpifm.Options, size, msgs int) (float64, mpifm.Stats) {
 	k := sim.NewKernel()
 	pl := cluster.New(k, cluster.DefaultConfig())
 	comms := mpifm.AttachFM2Opt(pl, fm2.Config{}, mpifm.PProOverheads(), opt)
-	return runMPIStream(k, comms, size, msgs)
+	mbps := runMPIStream(k, comms, size, msgs)
+	return mbps, comms[1].Stats()
+}
+
+// MPI2AblationOverrun replays the pacing story with a BUSY receiver: rank 1
+// computes for lag between receives while rank 0 streams, so arrivals back
+// up in the NIC ring. Paced extraction pulls only what the posted receive
+// asked for and leaves the backlog on the NIC; unpaced extraction drains
+// the backlog into the unexpected pool — a staging copy per message, the
+// host-side cost receiver flow control exists to avoid (paper §4.2).
+func MPI2AblationOverrun(opt mpifm.Options, size, msgs int, lag sim.Time) (float64, mpifm.Stats) {
+	k := sim.NewKernel()
+	pl := cluster.New(k, cluster.DefaultConfig())
+	comms := mpifm.AttachFM2Opt(pl, fm2.Config{}, mpifm.PProOverheads(), opt)
+	var start, end sim.Time
+	k.Spawn("rank0", func(p *sim.Proc) {
+		start = p.Now()
+		msg := make([]byte, size)
+		for i := 0; i < msgs; i++ {
+			if err := comms[0].Send(p, msg, 1, 1); err != nil {
+				panic(err)
+			}
+		}
+	})
+	k.Spawn("rank1", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		for i := 0; i < msgs; i++ {
+			p.Delay(lag) // the application computing, not progressing MPI
+			if _, err := comms[1].Recv(p, buf, 0, 1); err != nil {
+				panic(err)
+			}
+		}
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		panic(fmt.Sprintf("bench: ablation overrun stream: %v", err))
+	}
+	return Elapsed(int64(size)*int64(msgs), end-start), comms[1].Stats()
 }
 
 // runMPIStream is the shared streaming-bandwidth body.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/mpifm"
+	"repro/internal/sim"
 )
 
 func TestAblationGatherMatters(t *testing.T) {
@@ -22,13 +23,25 @@ func TestAblationGatherMatters(t *testing.T) {
 }
 
 func TestAblationPacingMatters(t *testing.T) {
-	// Without receiver flow control, arrivals overrun the posted receive
-	// and take the pool path: more copies, less bandwidth.
+	// With a busy receiver (computation between receives) arrivals back up
+	// in the NIC ring. Pacing leaves the backlog on the NIC and lands each
+	// message direct; without it the drain floods the unexpected pool — an
+	// extra staging copy per message. The price shows in the path counters;
+	// bandwidth must merely not improve when pacing is off.
 	const size, msgs = 2048, 300
-	paced := MPI2AblationBandwidth(mpifm.Options{}, size, msgs)
-	unpaced := MPI2AblationBandwidth(mpifm.Options{Unpaced: true}, size, msgs)
-	if unpaced >= paced {
-		t.Fatalf("unpaced %.2f >= paced %.2f MB/s", unpaced, paced)
+	const lag = 40 * sim.Microsecond
+	paced, pacedStats := MPI2AblationOverrun(mpifm.Options{}, size, msgs, lag)
+	unpaced, unpacedStats := MPI2AblationOverrun(mpifm.Options{Unpaced: true}, size, msgs, lag)
+	if unpaced > paced {
+		t.Fatalf("unpaced %.2f > paced %.2f MB/s", unpaced, paced)
+	}
+	if unpacedStats.Unexpected <= pacedStats.Unexpected {
+		t.Fatalf("unpaced took the unexpected path %d times, paced %d; pacing should keep arrivals direct",
+			unpacedStats.Unexpected, pacedStats.Unexpected)
+	}
+	if pacedStats.Direct <= unpacedStats.Direct {
+		t.Fatalf("paced landed %d messages direct, unpaced %d; pacing should win the direct path",
+			pacedStats.Direct, unpacedStats.Direct)
 	}
 }
 

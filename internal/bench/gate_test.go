@@ -87,13 +87,13 @@ func TestGateTrajectory(t *testing.T) {
 	})
 }
 
-// TestGateCommittedTrajectory holds the committed PR 8 report to the
-// committed PR 5 baseline — the exact comparison the CI gate step runs.
+// TestGateCommittedTrajectory holds the committed PR 9 report to the
+// committed PR 8 baseline — the exact comparison the CI gate step runs.
 func TestGateCommittedTrajectory(t *testing.T) {
-	base := filepath.Join("..", "..", "BENCH_PR5.json")
-	next := filepath.Join("..", "..", "BENCH_PR8.json")
+	base := filepath.Join("..", "..", "BENCH_PR8.json")
+	next := filepath.Join("..", "..", "BENCH_PR9.json")
 	if _, err := os.Stat(next); err != nil {
-		t.Skip("BENCH_PR8.json not generated yet")
+		t.Skip("BENCH_PR9.json not generated yet")
 	}
 	if err := GateTrajectory(base, next, GateTolerancePct); err != nil {
 		t.Fatal(err)

@@ -12,6 +12,8 @@ import (
 	"repro/internal/fm2"
 	"repro/internal/mpifm"
 	"repro/internal/sim"
+	"repro/internal/svcload"
+	"repro/internal/xport"
 )
 
 // The wall-clock engine suite: where every other bench in this package
@@ -49,13 +51,17 @@ type PerfEntry struct {
 // PerfReport is the machine-readable perf trajectory written to
 // BENCH_PR<n>.json.
 type PerfReport struct {
-	Schema    string      `json:"schema"`
-	PR        int         `json:"pr"`
-	GoVersion string      `json:"go_version"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	NumCPU    int         `json:"num_cpu"`
-	Entries   []PerfEntry `json:"entries"`
+	Schema    string `json:"schema"`
+	PR        int    `json:"pr"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS at report time: the honest parallelism bound the wall-clock
+	// numbers were measured under (the parallel-engine rows are meaningless
+	// without it).
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Entries    []PerfEntry `json:"entries"`
 }
 
 // PerfSchema identifies the report layout for downstream tooling.
@@ -72,6 +78,7 @@ type PerfConfig struct {
 	Size            int // bytes per rank contribution
 	KernelEvents    int // event count for the raw kernel measurement
 	StreamMsgs      int // messages for the fm2 steady-state measurement
+	SvcRequests     int // per-client requests for the svcload measurement
 
 	// ParallelLPs > 1 reruns every fat-tree allreduce point on the
 	// partitioned engine with that many LPs and reports speedup vs the
@@ -91,6 +98,7 @@ func DefaultPerfConfig() PerfConfig {
 		Size:            1024,
 		KernelEvents:    2_000_000,
 		StreamMsgs:      5_000,
+		SvcRequests:     400,
 	}
 }
 
@@ -191,6 +199,40 @@ func PerfFM2Stream(msgs, size int) PerfEntry {
 		AllocsPerOp:  float64(mallocs) / float64(steady),
 		BytesPerOp:   float64(bytes) / float64(steady),
 	}
+}
+
+// PerfSvcLoad measures the service-workload layer's simulator cost: a
+// 16-node FM 2.x open-loop fleet, reported per completed REQUEST (each one
+// is fan-out sends, shard service, and a gathered response).
+func PerfSvcLoad(requests int) PerfEntry {
+	res, entry := svcload.Result{}, PerfEntry{}
+	var err error
+	t0 := time.Now()
+	mallocs, bytes := memDelta(func() {
+		res, err = svcload.Run(svcload.RunConfig{
+			Gen: xport.GenFM2, Nodes: 16, FatTree: true,
+			Workload: svcload.Workload{
+				Mode: svcload.ModeOpen, Requests: requests, RateRPS: 20_000,
+				Fanout: 2, Keyspace: 256, ZipfS: 1.1,
+				ReqBytes: 64, RespBytes: 512, Seed: 1998,
+			},
+		})
+	})
+	wall := time.Since(t0)
+	if err != nil {
+		panic(fmt.Sprintf("bench: perf svcload: %v", err))
+	}
+	// Events aren't surfaced by svcload.Run (the kernel is internal to it);
+	// report the request rate instead — the suite's unit for this row.
+	entry = PerfEntry{
+		Name: "svcload-open", Fabric: string(FabFatTree), Ranks: 16, SizeB: 512,
+		Ops:         res.Completed,
+		VirtualUS:   float64(res.LastNS) / 1e3,
+		WallMS:      wall.Seconds() * 1e3,
+		AllocsPerOp: float64(mallocs) / float64(res.Completed),
+		BytesPerOp:  float64(bytes) / float64(res.Completed),
+	}
+	return entry
 }
 
 // PerfCollective measures one allreduce round at scale: virtual time (the
@@ -318,6 +360,9 @@ func RunPerfSuite(cfg PerfConfig) []PerfEntry {
 		PerfKernelEvents(cfg.KernelEvents),
 		PerfFM2Stream(cfg.StreamMsgs, 1024),
 	}
+	if cfg.SvcRequests > 0 {
+		entries = append(entries, PerfSvcLoad(cfg.SvcRequests))
+	}
 	ftRanks := cfg.CollectiveRanks
 	if cfg.BigRanks > 0 {
 		ftRanks = append(append([]int(nil), ftRanks...), cfg.BigRanks)
@@ -381,13 +426,14 @@ func WritePerfReport(w io.Writer, cfg PerfConfig, pr int, jsonPath string) error
 		return nil
 	}
 	rep := PerfReport{
-		Schema:    PerfSchema,
-		PR:        pr,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Entries:   entries,
+		Schema:     PerfSchema,
+		PR:         pr,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Entries:    entries,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -11,6 +11,12 @@ type Manager struct {
 	window int
 	avail  []int // credits we hold toward each destination
 	freed  []int // ring slots freed per source, not yet returned
+	// dirty lists sources with freed > 0 (unordered; isDirty is the
+	// membership flag) so idle-poll flushing costs O(pending), not O(n) —
+	// at thousands of nodes a per-poll peer scan would dominate the
+	// event loop.
+	dirty   []int
+	isDirty []bool
 	// Counters for tests and benches.
 	CreditsSent  int64
 	CreditsRecvd int64
@@ -55,7 +61,8 @@ func New(n, self, window, ringSlots int) *Manager {
 	if window < 1 {
 		window = 1
 	}
-	m := &Manager{window: window, avail: make([]int, n), freed: make([]int, n)}
+	m := &Manager{window: window, avail: make([]int, n), freed: make([]int, n),
+		isDirty: make([]bool, n)}
 	for i := range m.avail {
 		if i != self {
 			m.avail[i] = window
@@ -104,6 +111,10 @@ func (m *Manager) NoteFreed(src int) (int, bool) {
 		m.CreditsSent += int64(n)
 		return n, true
 	}
+	if !m.isDirty[src] {
+		m.isDirty[src] = true
+		m.dirty = append(m.dirty, src)
+	}
 	return 0, false
 }
 
@@ -117,6 +128,34 @@ func (m *Manager) FlushFreed(src int) (int, bool) {
 	m.freed[src] = 0
 	m.CreditsSent += int64(n)
 	return n, true
+}
+
+// TakeDirty pops the lowest-numbered source holding an unreturned partial
+// batch and flushes it, reporting false when none is pending. The empty
+// check is O(1), so engines may call this on every idle poll; lowest-first
+// order matches an ascending peer scan, keeping flush order — and with it
+// event order — deterministic. A source whose batch was already emitted by
+// NoteFreed's threshold is skipped lazily.
+func (m *Manager) TakeDirty() (src, n int, ok bool) {
+	for len(m.dirty) > 0 {
+		lo := 0
+		for i, s := range m.dirty {
+			if s < m.dirty[lo] {
+				lo = i
+			}
+		}
+		s := m.dirty[lo]
+		m.dirty[lo] = m.dirty[len(m.dirty)-1]
+		m.dirty = m.dirty[:len(m.dirty)-1]
+		m.isDirty[s] = false
+		if m.freed[s] > 0 {
+			c := m.freed[s]
+			m.freed[s] = 0
+			m.CreditsSent += int64(c)
+			return s, c, true
+		}
+	}
+	return 0, 0, false
 }
 
 // Outstanding reports packets in flight toward dst (window minus credits) —

@@ -109,6 +109,37 @@ func TestFlushFreed(t *testing.T) {
 	}
 }
 
+func TestTakeDirty(t *testing.T) {
+	m := New(8, 3, 8, 256)
+	if _, _, ok := m.TakeDirty(); ok {
+		t.Fatal("take with nothing freed reported a batch")
+	}
+	// Partial batches toward three peers, dirtied out of order.
+	m.NoteFreed(5)
+	m.NoteFreed(0)
+	m.NoteFreed(0)
+	m.NoteFreed(2)
+	// Lowest-numbered source first, each with its full partial count.
+	want := []struct{ src, n int }{{0, 2}, {2, 1}, {5, 1}}
+	for _, w := range want {
+		src, n, ok := m.TakeDirty()
+		if !ok || src != w.src || n != w.n {
+			t.Fatalf("got (%d,%d,%v), want (%d,%d,true)", src, n, ok, w.src, w.n)
+		}
+	}
+	if _, _, ok := m.TakeDirty(); ok {
+		t.Fatal("drained manager still reports a batch")
+	}
+	// A batch emitted by NoteFreed's own threshold leaves a stale dirty
+	// entry; TakeDirty must skip it, not double-return the credits.
+	for i := 0; i < 4; i++ {
+		m.NoteFreed(6)
+	}
+	if _, _, ok := m.TakeDirty(); ok {
+		t.Fatal("threshold-emitted batch returned again by TakeDirty")
+	}
+}
+
 // Property: under any interleaving of consumes and batched returns, credits
 // never go negative and conservation holds: consumed = refilled + held-out.
 func TestPropertyConservation(t *testing.T) {

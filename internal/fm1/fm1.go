@@ -342,6 +342,25 @@ func (e *Endpoint) returnCredits(p *sim.Proc, src int) {
 	}
 }
 
+// flushCredits force-returns pending partial credit batches. Called on
+// idle polls: half-window batching amortizes credit traffic under load,
+// but a sender gated on a multi-packet message can be starved forever by
+// slots the threshold is still withholding once the receiver goes quiet.
+// TakeDirty makes the no-pending case O(1), so polling stays cheap at any
+// cluster size.
+func (e *Endpoint) flushCredits(p *sim.Proc) {
+	if e.cfg.DisableFlowControl {
+		return
+	}
+	for {
+		src, n, ok := e.fc.TakeDirty()
+		if !ok {
+			return
+		}
+		e.sendCreditPacket(p, src, n)
+	}
+}
+
 func (e *Endpoint) sendCreditPacket(p *sim.Proc, dst, n int) {
 	pkt := e.ctrlPool.Get(headerSize)
 	frame := pkt.Payload
@@ -366,6 +385,9 @@ func (e *Endpoint) Extract(p *sim.Proc) int {
 		pkt, ok := e.nic.Poll()
 		if !ok {
 			if !polled {
+				// Idle poll: flush withheld partial credit batches so a
+				// gated multi-packet sender can't starve (see flushCredits).
+				e.flushCredits(p)
 				p.Delay(e.h.P.PollEmpty)
 			}
 			break

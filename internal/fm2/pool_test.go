@@ -303,9 +303,10 @@ func TestFrameLeakFreeQuiesce(t *testing.T) {
 				panic(err)
 			}
 		}
-		// Long after the receiver's final credit batch can arrive, drain the
-		// control queue so every in-flight credit frame releases.
-		p.Delay(sim.Millisecond)
+		// Long after the receiver's final credit batch can arrive — including
+		// the partial batch its idle poll flushes — drain the control queue
+		// so every in-flight credit frame releases.
+		p.Delay(2 * sim.Millisecond)
 		eps[0].ExtractAll(p)
 	})
 	k.Spawn("receiver", func(p *sim.Proc) {

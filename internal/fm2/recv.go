@@ -277,6 +277,9 @@ func (e *Endpoint) Extract(p *sim.Proc, maxBytes int) int {
 		pkt, ok := e.nic.Poll()
 		if !ok {
 			if !polled {
+				// Idle poll: nothing inbound, so no batch to amortize —
+				// return any withheld partial credit batches before parking.
+				e.flushCredits(p)
 				p.Delay(e.h.P.PollEmpty)
 			}
 			break

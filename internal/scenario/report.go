@@ -50,6 +50,22 @@ type NodeDiag struct {
 	LostCreditReturns int64 `json:"lost_credit_returns"`
 }
 
+// RPCStats is the service-workload section of an rpc-pattern report:
+// virtual-time tail latency over completed requests, plus the completion
+// ledger the drain window leaves behind under faults.
+type RPCStats struct {
+	Planned   int64 `json:"planned"`
+	Issued    int64 `json:"issued"`
+	Completed int64 `json:"completed"`
+	Abandoned int64 `json:"abandoned,omitempty"`
+	P50NS     int64 `json:"p50_ns"`
+	P99NS     int64 `json:"p99_ns"`
+	P999NS    int64 `json:"p999_ns"`
+	MaxNS     int64 `json:"max_ns"`
+	// GoodputRPS is completed requests over the span to the last completion.
+	GoodputRPS float64 `json:"goodput_rps"`
+}
+
 // HangDiagnostic is the watchdog's post-mortem: why the run stopped making
 // progress. This is the payload that replaces the old failure mode (a test
 // binary hung until its wall-clock timeout, with nothing to read).
@@ -98,6 +114,9 @@ type Report struct {
 	// one is a flow-control credit the sender can never recover.
 	LeakedCredits int64 `json:"leaked_credits"`
 
+	// RPC carries the tail-latency section for rpc-pattern scenarios.
+	RPC *RPCStats `json:"rpc,omitempty"`
+
 	// Lost is the fabric's aggregated loss registry, sorted.
 	Lost []LossRecord `json:"lost,omitempty"`
 
@@ -142,6 +161,21 @@ func (r *Report) evaluate(a Assert) {
 	if a.ZeroLoss {
 		if loss := r.Dropped + r.Corrupted + r.DownDropped + r.CRCDropped + r.RingDropped + r.LeakedCredits; loss != 0 {
 			r.fail("fabric not clean: %d loss events", loss)
+		}
+	}
+	if a.MaxP99MS > 0 || a.MaxP999MS > 0 || a.MinCompleted > 0 {
+		if r.RPC == nil {
+			r.fail("tail-latency assertion on a run with no rpc section")
+		} else {
+			if a.MaxP99MS > 0 && r.RPC.P99NS > int64(msTime(a.MaxP99MS)) {
+				r.fail("p99 %.3fms, want <= %.3fms", float64(r.RPC.P99NS)/1e6, a.MaxP99MS)
+			}
+			if a.MaxP999MS > 0 && r.RPC.P999NS > int64(msTime(a.MaxP999MS)) {
+				r.fail("p999 %.3fms, want <= %.3fms", float64(r.RPC.P999NS)/1e6, a.MaxP999MS)
+			}
+			if a.MinCompleted > 0 && r.RPC.Completed < a.MinCompleted {
+				r.fail("completed %d requests, want >= %d", r.RPC.Completed, a.MinCompleted)
+			}
 		}
 	}
 	r.Passed = len(r.Failures) == 0

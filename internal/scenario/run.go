@@ -76,6 +76,12 @@ func (r *runner) planTraffic() error {
 		for rank := 0; rank < n; rank++ {
 			r.expect[rank] = int64(t.Messages)
 		}
+	case "rpc":
+		// Placeholder until the fleet reports: the real planned/issued/
+		// completed ledger is copied from the RPC result after the run.
+		for rank := 0; rank < n; rank++ {
+			r.expect[rank] = int64(t.Messages)
+		}
 	default:
 		return fmt.Errorf("scenario %s: unknown traffic pattern %q", r.spec.Name, t.Pattern)
 	}
@@ -109,6 +115,13 @@ func (r *runner) registerHandlers() {
 func (r *runner) runRank(rank int, p *fmnet.Proc) {
 	if r.spec.Traffic.Pattern == "allreduce" {
 		r.runAllreduce(rank, p)
+		return
+	}
+	if r.spec.Traffic.Pattern == "rpc" {
+		// The fleet's driver is the whole rank: client schedule, shard
+		// server, and drain window all run inside RunNode.
+		r.s.RPC().RunNode(p, rank)
+		r.done[rank] = true
 		return
 	}
 	t := r.spec.Traffic
@@ -181,9 +194,14 @@ func Run(spec Spec, campaignSeed int64) Report {
 	} else {
 		opts = append(opts, fmnet.FM2())
 	}
-	if spec.Traffic.Pattern == "allreduce" {
+	switch spec.Traffic.Pattern {
+	case "allreduce":
 		opts = append(opts, fmnet.WithMPI())
-	} else {
+	case "rpc":
+		opts = append(opts, fmnet.WithRPC(fmnet.RPCConfig{
+			ServiceTime: fmnet.Time(spec.Traffic.ServiceUS * float64(fmnet.Microsecond)),
+		}))
+	default:
 		opts = append(opts, fmnet.WithService(svcName))
 	}
 	if plan := spec.faultPlan(seed); plan != nil {
@@ -211,7 +229,31 @@ func Run(spec Spec, campaignSeed int64) Report {
 		rep.fail("%v", err)
 		return rep
 	}
-	if spec.Traffic.Pattern != "allreduce" {
+	switch spec.Traffic.Pattern {
+	case "allreduce":
+		// MPI installs its own handlers.
+	case "rpc":
+		// The workload seed is the scenario seed: the same derivation that
+		// decorrelates fault schedules decorrelates request schedules.
+		t := spec.Traffic
+		mode := fmnet.RPCOpen
+		switch t.RPCMode {
+		case "closed":
+			mode = fmnet.RPCClosed
+		case "incast":
+			mode = fmnet.RPCIncast
+		}
+		if err := s.RPC().Plan(fmnet.RPCWorkload{
+			Mode: mode, Requests: t.Messages, RateRPS: t.RateRPS,
+			Fanout: t.Fanout, Keyspace: t.Keyspace, ZipfS: t.ZipfS,
+			ReqBytes: t.Size, RespBytes: t.RespSize,
+			Seed: seed, Drain: msTime(t.DrainMS),
+		}); err != nil {
+			rep.Outcome = OutcomeError
+			rep.fail("plan rpc workload: %v", err)
+			return rep
+		}
+	default:
 		r.registerHandlers()
 	}
 	s.SpawnRanks("scen", r.runRank)
@@ -237,6 +279,19 @@ func Run(spec Spec, campaignSeed int64) Report {
 		rep.MsgsExpected += e
 	}
 	rep.Failures = append(rep.Failures, r.errs...)
+	if spec.Traffic.Pattern == "rpc" {
+		res := s.RPC().Result()
+		rep.MsgsSent = res.Issued
+		rep.MsgsRecvd = res.Completed
+		rep.MsgsExpected = res.Planned
+		rep.Failures = append(rep.Failures, res.Errors...)
+		rep.RPC = &RPCStats{
+			Planned: res.Planned, Issued: res.Issued,
+			Completed: res.Completed, Abandoned: res.Abandoned,
+			P50NS: res.P50NS, P99NS: res.P99NS, P999NS: res.P999NS,
+			MaxNS: res.MaxNS, GoodputRPS: res.GoodputRPS,
+		}
+	}
 
 	fab := s.Fabric()
 	for _, l := range fab.Links() {

@@ -32,19 +32,46 @@ type Traffic struct {
 	//   alltoall — every rank sends to every other rank
 	//   incast   — every rank sends to rank 0
 	//   allreduce— MPI Allreduce rounds over the attached MPI service
+	//   rpc      — the service-workload layer: every rank runs a shard
+	//              server plus a load-generating client, and the report
+	//              carries tail-latency quantiles (see the rpc_* fields)
 	Pattern string `json:"pattern"`
-	// Messages is the per-sender message count (rounds, for allreduce).
+	// Messages is the per-sender message count (rounds for allreduce,
+	// per-client requests for rpc).
 	Messages int `json:"messages"`
-	// Size is the per-message payload size in bytes.
+	// Size is the per-message payload size in bytes (the request payload,
+	// for rpc).
 	Size int `json:"size"`
 	// OpenLoop sends without waiting for receive completion, then drains
 	// until the drain window closes. Closed-loop (the default) waits for
 	// every expected message — under loss it hangs by design, and the
-	// watchdog turns the hang into a diagnostic.
+	// watchdog turns the hang into a diagnostic. (Raw patterns only; rpc
+	// arrival behavior is RPCMode's.)
 	OpenLoop bool `json:"open_loop,omitempty"`
 	// DrainMS is the open-loop drain window in virtual milliseconds after a
-	// rank's last send (default 5).
+	// rank's last send (default 5). For rpc it bounds how long clients wait
+	// on outstanding requests after their last arrival before abandoning
+	// them — required for rpc scenarios that inject loss.
 	DrainMS float64 `json:"drain_ms,omitempty"`
+
+	// RPC-only fields (pattern "rpc").
+
+	// RPCMode is the arrival model: open (default), closed, or incast.
+	RPCMode string `json:"rpc_mode,omitempty"`
+	// RateRPS is the per-client arrival rate in requests per virtual second
+	// (open and incast modes).
+	RateRPS float64 `json:"rate_rps,omitempty"`
+	// Fanout is the sub-requests per request (default 1).
+	Fanout int `json:"fanout,omitempty"`
+	// Keyspace is the number of distinct keys (default 256).
+	Keyspace int `json:"keyspace,omitempty"`
+	// ZipfS is the key-popularity skew exponent (0 = uniform).
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// RespSize is the per-sub-response payload size in bytes.
+	RespSize int `json:"resp_size,omitempty"`
+	// ServiceUS is the shard's per-request compute in virtual microseconds
+	// (default 2).
+	ServiceUS float64 `json:"service_us,omitempty"`
 }
 
 // Fault is one fault rule in scenario-file form: link-name glob plus the
@@ -79,6 +106,13 @@ type Assert struct {
 	MinLeakedCredits int64 `json:"min_leaked_credits,omitempty"`
 	// ZeroLoss requires a clean fabric: no drops, corruption, or leaks.
 	ZeroLoss bool `json:"zero_loss,omitempty"`
+
+	// Tail-latency assertions (pattern "rpc" only), in virtual milliseconds
+	// over completed requests.
+	MaxP99MS  float64 `json:"max_p99_ms,omitempty"`
+	MaxP999MS float64 `json:"max_p999_ms,omitempty"`
+	// MinCompleted bounds completed (not abandoned) requests from below.
+	MinCompleted int64 `json:"min_completed,omitempty"`
 }
 
 // Spec is one declarative scenario.
@@ -108,6 +142,7 @@ const DefaultWatchdogMS = 50
 // knownPatterns names the traffic drivers.
 var knownPatterns = map[string]bool{
 	"ring": true, "pairs": true, "alltoall": true, "incast": true, "allreduce": true,
+	"rpc": true,
 }
 
 // topo maps the scenario-file topology names onto fmnet.
@@ -152,6 +187,34 @@ func (s *Spec) Validate() error {
 	}
 	if s.WatchdogMS < 0 || s.Traffic.DrainMS < 0 {
 		return fmt.Errorf("scenario %s: negative time budget", s.Name)
+	}
+	t := s.Traffic
+	if t.Pattern == "rpc" {
+		switch t.RPCMode {
+		case "", "open", "closed", "incast":
+		default:
+			return fmt.Errorf("scenario %s: rpc_mode must be open, closed, or incast, not %q", s.Name, t.RPCMode)
+		}
+		if t.RPCMode != "closed" && t.RateRPS <= 0 {
+			return fmt.Errorf("scenario %s: rpc pattern needs rate_rps > 0 (or rpc_mode \"closed\")", s.Name)
+		}
+		if t.Fanout < 0 || t.Fanout > s.Nodes {
+			return fmt.Errorf("scenario %s: fanout %d outside [0, %d]", s.Name, t.Fanout, s.Nodes)
+		}
+		if t.Keyspace < 0 || t.ZipfS < 0 || t.RespSize < 0 || t.ServiceUS < 0 {
+			return fmt.Errorf("scenario %s: negative rpc field", s.Name)
+		}
+	} else {
+		if t.RPCMode != "" || t.RateRPS != 0 || t.Fanout != 0 || t.Keyspace != 0 ||
+			t.ZipfS != 0 || t.RespSize != 0 || t.ServiceUS != 0 {
+			return fmt.Errorf("scenario %s: rpc_* traffic fields need pattern \"rpc\"", s.Name)
+		}
+		if s.Assert.MaxP99MS != 0 || s.Assert.MaxP999MS != 0 || s.Assert.MinCompleted != 0 {
+			return fmt.Errorf("scenario %s: tail-latency assertions need pattern \"rpc\"", s.Name)
+		}
+	}
+	if s.Assert.MaxP99MS < 0 || s.Assert.MaxP999MS < 0 || s.Assert.MinCompleted < 0 {
+		return fmt.Errorf("scenario %s: negative assertion bound", s.Name)
 	}
 	switch s.Assert.Outcome {
 	case "", OutcomeComplete, OutcomeWatchdog:

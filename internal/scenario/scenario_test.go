@@ -163,6 +163,68 @@ func TestAllreducePatternRuns(t *testing.T) {
 	}
 }
 
+// TestRPCScenarioCleanTailLatency drives the rpc traffic kind on a clean
+// fabric: tail-latency assertions evaluate against the RPC section, the
+// delivery ledger maps to the fleet's planned/issued/completed counters,
+// and same-seed reports are bit-identical on both FM bindings.
+func TestRPCScenarioCleanTailLatency(t *testing.T) {
+	for _, fm := range []int{1, 2} {
+		spec := Spec{
+			Name:  "rpc-clean",
+			Nodes: 6,
+			FM:    fm,
+			Traffic: Traffic{
+				Pattern: "rpc", Messages: 15, Size: 64,
+				RateRPS: 20_000, Fanout: 2, Keyspace: 64, ZipfS: 1.1,
+				RespSize: 256, ServiceUS: 2,
+			},
+			Assert: Assert{
+				Outcome: OutcomeComplete, AllDelivered: true, ZeroLoss: true,
+				MaxP99MS: 5, MinCompleted: 6 * 15,
+			},
+		}
+		rep := Run(spec, 42)
+		if !rep.Passed {
+			t.Fatalf("fm%d: rpc scenario failed: %v (outcome %s)", fm, rep.Failures, rep.Outcome)
+		}
+		if rep.RPC == nil {
+			t.Fatalf("fm%d: no RPC section on an rpc run", fm)
+		}
+		if rep.RPC.Completed != 6*15 || rep.MsgsRecvd != rep.RPC.Completed {
+			t.Fatalf("fm%d: completed %d (recvd %d), want %d", fm, rep.RPC.Completed, rep.MsgsRecvd, 6*15)
+		}
+		if rep.RPC.P99NS < rep.RPC.P50NS || rep.RPC.P50NS <= 0 {
+			t.Fatalf("fm%d: bad quantiles p50=%d p99=%d", fm, rep.RPC.P50NS, rep.RPC.P99NS)
+		}
+		again := Run(spec, 42)
+		if !bytes.Equal(rep.Marshal(), again.Marshal()) {
+			t.Fatalf("fm%d: same seed, different rpc reports", fm)
+		}
+	}
+}
+
+// TestRPCScenarioTailAssertionFails pins the failure path: an impossible
+// p99 bound must fail the report, not pass vacuously.
+func TestRPCScenarioTailAssertionFails(t *testing.T) {
+	spec := Spec{
+		Name:  "rpc-tight",
+		Nodes: 4,
+		Traffic: Traffic{
+			Pattern: "rpc", Messages: 10, Size: 64,
+			RateRPS: 50_000, RespSize: 128, ServiceUS: 2,
+		},
+		// 2us of service alone blows a 1ns p99 budget.
+		Assert: Assert{Outcome: OutcomeComplete, MaxP99MS: 0.000001},
+	}
+	rep := Run(spec, 7)
+	if rep.Passed {
+		t.Fatal("impossible p99 bound passed")
+	}
+	if rep.Outcome != OutcomeComplete {
+		t.Fatalf("run itself should complete, got %q: %v", rep.Outcome, rep.Failures)
+	}
+}
+
 func TestScenarioSeedDecorrelatesNames(t *testing.T) {
 	if ScenarioSeed(5, "a") == ScenarioSeed(5, "b") {
 		t.Fatal("different scenario names share a seed")
@@ -183,6 +245,12 @@ func TestSpecValidateRejectsGarbage(t *testing.T) {
 		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 0}},
 		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 1}, Assert: Assert{Outcome: "maybe"}},
 		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 1}, Faults: []Fault{{Links: "*", DropProb: 1.5}}},
+		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "rpc", Messages: 1, Size: 1, RPCMode: "bursty", RateRPS: 1}},
+		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "rpc", Messages: 1, Size: 1}},
+		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "rpc", Messages: 1, Size: 1, RateRPS: 1, Fanout: 5}},
+		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 1, RateRPS: 1000}},
+		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "ring", Messages: 1, Size: 1}, Assert: Assert{MaxP99MS: 1}},
+		{Name: "x", Nodes: 4, Traffic: Traffic{Pattern: "rpc", Messages: 1, Size: 1, RateRPS: 1}, Assert: Assert{MaxP99MS: -1}},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -252,6 +320,29 @@ func TestSmokeCampaignMatchesGolden(t *testing.T) {
 	}
 	if !c.Passed {
 		t.Fatalf("smoke campaign failed: %d of %d scenarios", c.Failed, c.Total)
+	}
+	if got := c.Marshal(); !bytes.Equal(got, golden) {
+		t.Fatalf("campaign report drifted from committed golden (regenerate if the change is intended)\n--- got ---\n%s", got)
+	}
+}
+
+// TestSvcCampaignMatchesGolden does the same for the committed RPC
+// service-workload campaign: baseline tail budget, incast under trunk flaps
+// with honest abandonment, and a closed-loop FM 1.x chain. Regenerate with:
+//
+//	go run ./cmd/fmbench -campaign campaigns/svc -campaignout campaigns/svc/golden.json
+func TestSvcCampaignMatchesGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "campaigns", "svc")
+	golden, err := os.ReadFile(filepath.Join(dir, GoldenName))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	c, err := RunCampaign(dir, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Passed {
+		t.Fatalf("svc campaign failed: %d of %d scenarios", c.Failed, c.Total)
 	}
 	if got := c.Marshal(); !bytes.Equal(got, golden) {
 		t.Fatalf("campaign report drifted from committed golden (regenerate if the change is intended)\n--- got ---\n%s", got)

@@ -1,0 +1,762 @@
+// Package svcload is the datacenter service-workload layer of the
+// reproduction: it simulates replicated request/response services running
+// over the shared per-node Fast Messages endpoints, and reports
+// TAIL LATENCY — p50/p99/p999 in virtual time — instead of bandwidth. The
+// paper's §4.1 pacing and flow-control story is a latency story at scale:
+// under skewed key popularity and fan-out, the question is not how many
+// MB/s the fabric moves but what the 99.9th-percentile request experiences
+// when a hot shard's credit window backs up.
+//
+// The model: every node of a cluster hosts one shard server and one client.
+// Clients issue requests against a keyspace with Zipf-skewed popularity;
+// each request fans out into one sub-request per replica of its key
+// (replica j of key k lives on node (k+j) mod n) and completes when the
+// last sub-response is gathered. Three arrival modes:
+//
+//   - open: per-client Poisson arrivals at a fixed rate. Latency is
+//     measured from the SCHEDULED arrival, not the actual send, so a client
+//     stalled by its own earlier work still charges the delay to the tail
+//     (no coordinated omission).
+//   - closed: each client keeps exactly one request outstanding, issuing
+//     the next the moment the previous completes. Latency from issue time.
+//   - incast: every client fires at the SAME key at the SAME instant on a
+//     fixed epoch clock — the synchronized fan-in storm that turns shallow
+//     switch queues into tail spikes.
+//
+// Every request stream is derived from (seed, client) with decorrelated
+// sub-streams for arrivals and keys, all timing is virtual, and latency
+// histograms are integer log-buckets (Hist), so a run's report is
+// bit-identical across repetitions, and a captured trace (see trace.go)
+// replays to the exact same report.
+//
+// Like every other service in this codebase, the RPC layer binds to a
+// HandlerSpace on the node's shared endpoint — it co-resides with MPI,
+// sockets, and shmem rather than owning the NIC. The fleet drives the
+// sequential kernel only: clients, servers, and histograms share state
+// under the single-threaded event schedule.
+package svcload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/hostmodel"
+	"repro/internal/sim"
+	"repro/internal/trafficgen"
+	"repro/internal/xport"
+)
+
+// Service is the canonical endpoint-service name the RPC layer registers
+// under on a shared per-node endpoint.
+const Service = "rpc"
+
+// Service-local handler slots.
+const (
+	reqHandler  xport.HandlerID = 1
+	respHandler xport.HandlerID = 2
+)
+
+// Wire headers. Request: reqID(8) client(4) respBytes(4); response: reqID(8).
+const (
+	reqHeaderSize  = 16
+	respHeaderSize = 8
+)
+
+// pollGap paces the client progress loop between arrivals: small enough
+// that server extraction latency stays in the noise of the modeled service
+// time, large enough to bound event volume over a millisecond-scale run.
+const pollGap = 1 * sim.Microsecond
+
+// Mode selects the arrival model.
+type Mode string
+
+const (
+	// ModeOpen is open-loop Poisson arrivals per client.
+	ModeOpen Mode = "open"
+	// ModeClosed keeps one outstanding request per client.
+	ModeClosed Mode = "closed"
+	// ModeIncast synchronizes every client onto one key on an epoch clock.
+	ModeIncast Mode = "incast"
+)
+
+// ServiceConfig is the server-side cost model: the virtual compute a shard
+// spends on each sub-request before replying.
+type ServiceConfig struct {
+	// ServiceTime is the fixed per-request compute.
+	ServiceTime sim.Time
+	// PerByte is additional compute per response byte.
+	PerByte sim.Time
+}
+
+// DefaultServiceConfig models a light in-memory lookup service: 2us fixed.
+func DefaultServiceConfig() ServiceConfig {
+	return ServiceConfig{ServiceTime: 2 * sim.Microsecond}
+}
+
+// Workload describes one generated request stream.
+type Workload struct {
+	// Mode is the arrival model (default ModeOpen).
+	Mode Mode
+	// Requests is the per-client request count.
+	Requests int
+	// RateRPS is the per-client arrival rate in requests per virtual
+	// second (open and incast modes).
+	RateRPS float64
+	// Fanout is the sub-requests per request (replicas gathered), 1..nodes.
+	Fanout int
+	// Keyspace is the number of distinct keys (default 256).
+	Keyspace int
+	// ZipfS is the key-popularity skew exponent (0 = uniform).
+	ZipfS float64
+	// ReqBytes / RespBytes are payload sizes past the RPC headers.
+	ReqBytes  int
+	RespBytes int
+	// Seed derives every per-client arrival and key stream.
+	Seed int64
+	// Start offsets the first arrival (default: pure inter-arrival gaps
+	// from virtual time zero).
+	Start sim.Time
+	// Drain, when nonzero, bounds how long each client keeps serving after
+	// its last arrival: outstanding requests past the window are abandoned
+	// (counted, excluded from the histogram) instead of hanging the run.
+	// The same window bounds every wait at the credit gate and the
+	// closed-loop completion wait — under fault injection a destroyed frame
+	// leaks its credits forever, so an unbounded wait is a wedge. Required
+	// when faults are present.
+	Drain sim.Time
+}
+
+// withDefaults normalizes optional fields.
+func (wl Workload) withDefaults() Workload {
+	if wl.Mode == "" {
+		wl.Mode = ModeOpen
+	}
+	if wl.Keyspace == 0 {
+		wl.Keyspace = 256
+	}
+	if wl.Fanout == 0 {
+		wl.Fanout = 1
+	}
+	return wl
+}
+
+// validate checks the workload against a fleet of n nodes.
+func (wl Workload) validate(n int) error {
+	switch wl.Mode {
+	case ModeOpen, ModeClosed, ModeIncast:
+	default:
+		return fmt.Errorf("svcload: unknown mode %q", wl.Mode)
+	}
+	if wl.Requests <= 0 {
+		return fmt.Errorf("svcload: requests must be > 0")
+	}
+	if wl.Mode != ModeClosed && wl.RateRPS <= 0 {
+		return fmt.Errorf("svcload: %s mode needs rate_rps > 0", wl.Mode)
+	}
+	if wl.Fanout < 1 || wl.Fanout > n {
+		return fmt.Errorf("svcload: fanout %d outside [1, %d]", wl.Fanout, n)
+	}
+	if wl.Keyspace < 1 {
+		return fmt.Errorf("svcload: keyspace must be >= 1")
+	}
+	if wl.ZipfS < 0 {
+		return fmt.Errorf("svcload: zipf exponent must be >= 0")
+	}
+	if wl.ReqBytes < 0 || wl.RespBytes < 0 {
+		return fmt.Errorf("svcload: negative payload size")
+	}
+	if wl.Drain < 0 || wl.Start < 0 {
+		return fmt.Errorf("svcload: negative time field")
+	}
+	return nil
+}
+
+// req is one planned request: the schedule entry generation and trace
+// replay share.
+type req struct {
+	T     sim.Time // scheduled arrival; 0 = closed-loop (issue on previous completion)
+	Key   int
+	Fan   int
+	ReqB  int
+	RespB int
+}
+
+// inflight tracks one issued request awaiting its sub-response gather.
+type inflight struct {
+	t0        sim.Time
+	remaining int
+}
+
+// pendingReply is one computed-but-unsent shard response. Handlers never
+// send: a reply issued from inside Extract could block on an exhausted
+// credit window while every other node does the same, and with no proc left
+// extracting, no credits ever return — the classic all-senders-stalled
+// deadlock. Instead handlers enqueue, and the node's main loop flushes the
+// queue only when the destination window has room (see creditReady).
+type pendingReply struct {
+	dst   int
+	id    uint64
+	respB int
+}
+
+// Fleet is the assembled RPC service across a cluster: one shard server and
+// one client per node, bound to the nodes' shared endpoints.
+type Fleet struct {
+	cfg    ServiceConfig
+	spaces []*xport.HandlerSpace
+
+	wl    Workload
+	sched [][]req
+
+	// Runtime state, shared by all node procs under the sequential kernel's
+	// deterministic schedule.
+	pending   []map[uint64]*inflight
+	replyQ    [][]pendingReply
+	hists     []*Hist
+	served    []int64
+	nodeDone  []bool
+	clients   int // clients that finished issuing
+	planned   int64
+	issued    int64
+	subSent   int64
+	completed int64
+	abandoned int64
+	failed    int64
+	lastNS    sim.Time // virtual time of the last completion
+	errs      []string
+
+	body []byte // shared zero payload (senders copy synchronously)
+}
+
+// Attach installs the RPC service on every node's handler space. Spaces
+// must come from the same symmetric registration order on every node, as
+// with every endpoint service.
+func Attach(spaces []*xport.HandlerSpace, cfg ServiceConfig) *Fleet {
+	n := len(spaces)
+	f := &Fleet{
+		cfg:      cfg,
+		spaces:   spaces,
+		pending:  make([]map[uint64]*inflight, n),
+		replyQ:   make([][]pendingReply, n),
+		hists:    make([]*Hist, n),
+		served:   make([]int64, n),
+		nodeDone: make([]bool, n),
+	}
+	for node := 0; node < n; node++ {
+		node := node
+		f.pending[node] = make(map[uint64]*inflight)
+		f.hists[node] = NewHist()
+		spaces[node].Register(reqHandler, func(p *sim.Proc, s xport.RecvStream) {
+			f.serveRequest(p, node, s)
+		})
+		spaces[node].Register(respHandler, func(p *sim.Proc, s xport.RecvStream) {
+			f.gatherResponse(p, node, s)
+		})
+	}
+	return f
+}
+
+// Nodes reports the fleet size.
+func (f *Fleet) Nodes() int { return len(f.spaces) }
+
+// seedFor decorrelates per-client RNG streams, in the repo's established
+// seed-XOR-fnv idiom, so arrival and key draws never share a stream.
+func seedFor(seed int64, kind string, client int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "svc:%s:%d", kind, client)
+	return seed ^ int64(h.Sum64())
+}
+
+// Plan generates the request schedule for a workload. It must be called
+// (or PlanTrace) before any RunNode proc starts.
+func (f *Fleet) Plan(wl Workload) error {
+	wl = wl.withDefaults()
+	n := len(f.spaces)
+	if err := wl.validate(n); err != nil {
+		return err
+	}
+	sched := make([][]req, n)
+	for c := 0; c < n; c++ {
+		rs := make([]req, wl.Requests)
+		base := req{Fan: wl.Fanout, ReqB: wl.ReqBytes, RespB: wl.RespBytes}
+		switch wl.Mode {
+		case ModeOpen:
+			arr := trafficgen.NewExp(seedFor(wl.Seed, "arrival", c), 1e9/wl.RateRPS)
+			keys := trafficgen.NewZipf(seedFor(wl.Seed, "key", c), wl.Keyspace, wl.ZipfS)
+			t := float64(wl.Start)
+			for i := range rs {
+				t += arr.Next()
+				rs[i] = base
+				rs[i].T = sim.Time(int64(t)) + 1 // floor at >= 1ns: T=0 means closed-loop
+				rs[i].Key = keys.Next()
+			}
+		case ModeClosed:
+			keys := trafficgen.NewZipf(seedFor(wl.Seed, "key", c), wl.Keyspace, wl.ZipfS)
+			for i := range rs {
+				rs[i] = base
+				rs[i].Key = keys.Next()
+			}
+		case ModeIncast:
+			// Every client, same key, same epoch instants: the storm.
+			gap := sim.Time(int64(1e9 / wl.RateRPS))
+			if gap < 1 {
+				gap = 1
+			}
+			for i := range rs {
+				rs[i] = base
+				rs[i].T = wl.Start + sim.Time(i+1)*gap
+			}
+		}
+		sched[c] = rs
+	}
+	return f.install(wl, sched)
+}
+
+// install arms the fleet with a schedule (generated or replayed). It
+// rejects message sizes the transport could never move without wedging the
+// credit gate: a single message may not need more packets than the whole
+// flow-control window.
+func (f *Fleet) install(wl Workload, sched [][]req) error {
+	planned := int64(0)
+	maxBody := 0
+	for _, rs := range sched {
+		planned += int64(len(rs))
+		for _, r := range rs {
+			if r.ReqB > maxBody {
+				maxBody = r.ReqB
+			}
+			if r.RespB > maxBody {
+				maxBody = r.RespB
+			}
+		}
+	}
+	sp := f.spaces[0]
+	maxMsg := reqHeaderSize + maxBody
+	if maxMsg > sp.MaxMessage() {
+		return fmt.Errorf("svcload: %d-byte message exceeds transport limit %d", maxMsg, sp.MaxMessage())
+	}
+	if ca, ok := sp.Endpoint().Transport().(xport.CreditAccounting); ok {
+		if need := (maxMsg + sp.MTU() - 1) / sp.MTU(); need > ca.FlowControl().Window() {
+			return fmt.Errorf("svcload: %d-byte message needs %d packets, credit window is %d",
+				maxMsg, need, ca.FlowControl().Window())
+		}
+	}
+	f.wl = wl
+	f.sched = sched
+	f.planned = planned
+	f.body = make([]byte, maxBody)
+	return nil
+}
+
+// Planned reports the scheduled request total.
+func (f *Fleet) Planned() int64 { return f.planned }
+
+// reqID packs (client node, sequence) into the wire request ID.
+func reqID(node, seq int) uint64 { return uint64(node)<<32 | uint64(uint32(seq)) }
+
+// creditReady reports whether node can open a size-byte message toward dst
+// without blocking on flow control. Loopback never consumes credits. Both
+// FM generations spend exactly one credit per MTU-sized packet, so the
+// check is exact — a send issued after creditReady returns true cannot
+// stall inside acquireCredit.
+func (f *Fleet) creditReady(node, dst, size int) bool {
+	if dst == node {
+		return true
+	}
+	sp := f.spaces[node]
+	ca, ok := sp.Endpoint().Transport().(xport.CreditAccounting)
+	if !ok {
+		return true
+	}
+	need := (size + sp.MTU() - 1) / sp.MTU()
+	if need < 1 {
+		need = 1
+	}
+	return ca.FlowControl().Available(dst) >= need
+}
+
+// progress is one turn of a node's event loop: service the network (which
+// both runs this node's shard handlers and drains credit refills into the
+// flow-control ledger) and flush any replies the handlers computed.
+func (f *Fleet) progress(p *sim.Proc, node int) {
+	f.spaces[node].Extract(p, 0)
+	f.flushReplies(p, node)
+}
+
+// flushReplies sends queued shard responses in FIFO order, charging each
+// one's service time as it leaves — the single-CPU server model: queued
+// requests serialize behind the one being computed. A reply whose client
+// window is full stays queued; the next progress turn retries after
+// extraction has had a chance to return credits.
+func (f *Fleet) flushReplies(p *sim.Proc, node int) {
+	for len(f.replyQ[node]) > 0 {
+		r := f.replyQ[node][0]
+		if !f.creditReady(node, r.dst, respHeaderSize+r.respB) {
+			return
+		}
+		f.replyQ[node] = f.replyQ[node][1:]
+		if d := f.cfg.ServiceTime + f.cfg.PerByte*sim.Time(r.respB); d > 0 {
+			p.Delay(d)
+		}
+		var rh [respHeaderSize]byte
+		putU64(rh[0:], r.id)
+		err := xport.SendGather(p, f.spaces[node], r.dst, respHandler, rh[:], f.body[:r.respB])
+		if err != nil {
+			f.errs = append(f.errs, fmt.Sprintf("server %d resp to %d: %v", node, r.dst, err))
+		}
+	}
+}
+
+// issue fires one request's sub-request fan-out. Each sub-request waits at
+// the credit gate (making progress, not blocking) until its destination
+// window has room; in open-loop mode the stall is charged to the request,
+// whose latency clock started at its scheduled arrival.
+func (f *Fleet) issue(p *sim.Proc, node, seq int, rq req) {
+	id := reqID(node, seq)
+	t0 := rq.T
+	if t0 == 0 {
+		t0 = p.Now() // closed-loop: latency from the actual issue
+	}
+	st := &inflight{t0: t0, remaining: rq.Fan}
+	f.pending[node][id] = st
+	f.issued++
+	n := len(f.spaces)
+	var hdr [reqHeaderSize]byte
+	putU64(hdr[0:], id)
+	putU32(hdr[8:], uint32(node))
+	putU32(hdr[12:], uint32(rq.RespB))
+	for j := 0; j < rq.Fan; j++ {
+		dst := (rq.Key + j) % n
+		// A scheduled request's patience is anchored to its arrival, not to
+		// when the gate was reached: a client wedged behind a leaked window
+		// then abandons its whole backlog in one sweep instead of waiting a
+		// fresh drain window per request.
+		var giveup sim.Time
+		if f.wl.Drain > 0 {
+			giveup = rq.T + f.wl.Drain
+			if rq.T == 0 {
+				giveup = p.Now() + f.wl.Drain
+			}
+		}
+		for !f.creditReady(node, dst, reqHeaderSize+rq.ReqB) {
+			if giveup > 0 && p.Now() >= giveup {
+				// The window toward dst has leaked shut: frames destroyed
+				// by fault injection never return their credits. Abandon
+				// the request rather than wedge the client mid-schedule —
+				// sub-responses already in flight for it are dropped by
+				// gatherResponse when they find no pending entry.
+				delete(f.pending[node], id)
+				f.abandoned++
+				return
+			}
+			f.progress(p, node)
+			p.Delay(pollGap)
+		}
+		err := xport.SendGather(p, f.spaces[node], dst, reqHandler, hdr[:], f.body[:rq.ReqB])
+		if err != nil {
+			f.errs = append(f.errs, fmt.Sprintf("client %d req %d -> %d: %v", node, seq, dst, err))
+			delete(f.pending[node], id)
+			f.failed++
+			return
+		}
+		f.subSent++
+	}
+}
+
+// serveRequest is the shard server's receive half: consume the sub-request
+// and queue its response. It runs on a handler thread of the serving node
+// (inline on the client's proc for a self-addressed sub-request — the local
+// shard is the local host). The compute and the send happen later, in
+// flushReplies, so a handler never stalls the extraction loop on credits.
+func (f *Fleet) serveRequest(p *sim.Proc, node int, s xport.RecvStream) {
+	var hdr [reqHeaderSize]byte
+	s.Receive(p, hdr[:])
+	s.ReceiveDiscard(p, s.Remaining())
+	id := getU64(hdr[0:])
+	client := int(getU32(hdr[8:]))
+	respB := int(getU32(hdr[12:]))
+	if client < 0 || client >= len(f.spaces) || respB > len(f.body) {
+		return // malformed by construction we never send; drop
+	}
+	f.served[node]++
+	f.replyQ[node] = append(f.replyQ[node], pendingReply{dst: client, id: id, respB: respB})
+}
+
+// gatherResponse completes a request when its last sub-response lands. A
+// response for an abandoned request (drained under faults) is consumed and
+// dropped.
+func (f *Fleet) gatherResponse(p *sim.Proc, node int, s xport.RecvStream) {
+	var hdr [respHeaderSize]byte
+	s.Receive(p, hdr[:])
+	s.ReceiveDiscard(p, s.Remaining())
+	id := getU64(hdr[0:])
+	st := f.pending[node][id]
+	if st == nil {
+		return
+	}
+	st.remaining--
+	if st.remaining > 0 {
+		return
+	}
+	delete(f.pending[node], id)
+	f.completed++
+	now := p.Now()
+	f.hists[node].Record(int64(now - st.t0))
+	if now > f.lastNS {
+		f.lastNS = now
+	}
+}
+
+// allDone reports global completion: every client has issued its schedule
+// and no request is outstanding anywhere (abandoned ones excluded).
+func (f *Fleet) allDone() bool {
+	return f.clients == len(f.spaces) &&
+		f.completed+f.abandoned+f.failed == f.issued
+}
+
+// RunNode is one node's proc body: the client's arrival loop doubling as
+// the node's progress engine (its Extract calls are what run the co-located
+// shard server). Spawn one per node, then run the kernel.
+func (f *Fleet) RunNode(p *sim.Proc, node int) {
+	if f.sched == nil {
+		panic("svcload: RunNode before Plan/PlanTrace")
+	}
+	var lastArrival sim.Time
+	for seq, rq := range f.sched[node] {
+		if rq.T > 0 {
+			// Open-loop: serve the shard until the scheduled arrival.
+			for p.Now() < rq.T {
+				f.progress(p, node)
+				if now := p.Now(); now < rq.T {
+					d := rq.T - now
+					if d > pollGap {
+						d = pollGap
+					}
+					p.Delay(d)
+				}
+			}
+			lastArrival = rq.T
+		}
+		f.issue(p, node, seq, rq)
+		if rq.T == 0 {
+			// Closed loop: wait for this request before the next. With a
+			// drain window configured the wait is bounded — a lost
+			// sub-response must not stall the chain forever.
+			id := reqID(node, seq)
+			var giveup sim.Time
+			if f.wl.Drain > 0 {
+				giveup = p.Now() + f.wl.Drain
+			}
+			for f.pending[node][id] != nil {
+				if giveup > 0 && p.Now() >= giveup {
+					delete(f.pending[node], id)
+					f.abandoned++
+					break
+				}
+				f.progress(p, node)
+				p.Delay(pollGap)
+			}
+		}
+	}
+	f.clients++
+	if f.wl.Drain > 0 {
+		deadline := lastArrival + f.wl.Drain
+		if deadline < p.Now() {
+			deadline = p.Now()
+		}
+		for p.Now() < deadline && !f.allDone() {
+			f.progress(p, node)
+			p.Delay(pollGap)
+		}
+		// Abandon what the window didn't gather: under loss these are the
+		// requests whose sub-responses died with a dropped frame.
+		for seq := range f.sched[node] {
+			id := reqID(node, seq)
+			if f.pending[node][id] != nil {
+				delete(f.pending[node], id)
+				f.abandoned++
+			}
+		}
+	} else {
+		for !f.allDone() {
+			f.progress(p, node)
+			p.Delay(pollGap)
+		}
+	}
+	f.nodeDone[node] = true
+}
+
+// NodeDone reports whether a node's proc has finished (the watchdog's
+// progress meter under the scenario runner).
+func (f *Fleet) NodeDone(node int) bool { return f.nodeDone[node] }
+
+// Hist returns the merged service-level latency histogram.
+func (f *Fleet) Hist() *Hist {
+	m := NewHist()
+	for _, h := range f.hists {
+		m.Merge(h)
+	}
+	return m
+}
+
+// Result is the machine-readable outcome of one fleet run. All fields are
+// virtual-time or counter derived: two runs with one seed produce identical
+// values, and a replayed trace reproduces them exactly.
+type Result struct {
+	Mode  string `json:"mode"`
+	Nodes int    `json:"nodes"`
+
+	Planned     int64 `json:"planned"`
+	Issued      int64 `json:"issued"`
+	Completed   int64 `json:"completed"`
+	Abandoned   int64 `json:"abandoned,omitempty"`
+	Failed      int64 `json:"failed,omitempty"`
+	SubRequests int64 `json:"sub_requests"`
+	Served      int64 `json:"served"`
+
+	// Shard skew: requests served by the hottest and coldest replica.
+	HotServed  int64 `json:"hot_served"`
+	ColdServed int64 `json:"cold_served"`
+
+	// Virtual-time latency quantiles over completed requests, ns.
+	P50NS  int64   `json:"p50_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	P999NS int64   `json:"p999_ns"`
+	MaxNS  int64   `json:"max_ns"`
+	MeanUS float64 `json:"mean_us"`
+
+	// LastNS is the virtual time of the last completion; GoodputRPS is
+	// completed requests over that span.
+	LastNS     int64   `json:"last_ns"`
+	GoodputRPS float64 `json:"goodput_rps"`
+
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Result summarizes the finished run.
+func (f *Fleet) Result() Result {
+	h := f.Hist()
+	r := Result{
+		Mode:        string(f.wl.Mode),
+		Nodes:       len(f.spaces),
+		Planned:     f.planned,
+		Issued:      f.issued,
+		Completed:   f.completed,
+		Abandoned:   f.abandoned,
+		Failed:      f.failed,
+		SubRequests: f.subSent,
+		P50NS:       h.Quantile(0.50),
+		P99NS:       h.Quantile(0.99),
+		P999NS:      h.Quantile(0.999),
+		MaxNS:       h.Max(),
+		MeanUS:      h.Mean() / 1e3,
+		LastNS:      int64(f.lastNS),
+		Errors:      f.errs,
+	}
+	for i, s := range f.served {
+		r.Served += s
+		if i == 0 || s > r.HotServed {
+			r.HotServed = s
+		}
+		if i == 0 || s < r.ColdServed {
+			r.ColdServed = s
+		}
+	}
+	if f.lastNS > 0 {
+		r.GoodputRPS = float64(f.completed) / f.lastNS.Seconds()
+	}
+	return r
+}
+
+// RunConfig assembles a standalone cluster for one workload run: the
+// harness the bench suite, the trace CLI, and the tests share. Sessions
+// that already exist (fmnet.WithRPC) attach a Fleet directly instead.
+type RunConfig struct {
+	// Gen is the FM generation (default GenFM2; GenFM1 runs on the
+	// Sparc-era profile through the staging adapter, as everywhere else).
+	Gen xport.Gen
+	// Nodes is the cluster size (>= 2).
+	Nodes int
+	// FatTree selects the 2-level Clos fabric; default is one crossbar.
+	FatTree bool
+	// Service is the server cost model (zero value = DefaultServiceConfig).
+	Service ServiceConfig
+	// Workload is the generated request stream. Ignored when Trace is set.
+	Workload Workload
+	// Trace, when non-nil, replays a captured schedule instead of
+	// generating one; its meta supplies mode and sizes.
+	Trace *Trace
+	// CaptureTo, when non-nil, receives the run's schedule as a JSONL
+	// trace before the simulation starts.
+	CaptureTo io.Writer
+}
+
+// Run executes one standalone workload and returns its result.
+func Run(rc RunConfig) (Result, error) {
+	if rc.Gen == 0 {
+		rc.Gen = xport.GenFM2
+	}
+	if rc.Nodes < 2 {
+		return Result{}, fmt.Errorf("svcload: need at least 2 nodes")
+	}
+	if (rc.Service == ServiceConfig{}) {
+		rc.Service = DefaultServiceConfig()
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = rc.Nodes
+	if rc.FatTree {
+		cfg.Topology = cluster.FatTree
+	}
+	cfg.AutoShape()
+	if rc.Gen == xport.GenFM1 {
+		cfg.Profile = hostmodel.Sparc()
+	}
+	k := sim.NewKernel()
+	pl, err := cluster.TryNew(k, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	eps := xport.AttachEndpoints(pl, xport.EndpointConfig{Gen: rc.Gen})
+	spaces := make([]*xport.HandlerSpace, rc.Nodes)
+	for i, ep := range eps {
+		spaces[i] = ep.Register(Service)
+	}
+	f := Attach(spaces, rc.Service)
+	if rc.Trace != nil {
+		if err := f.PlanTrace(rc.Trace); err != nil {
+			return Result{}, err
+		}
+	} else if err := f.Plan(rc.Workload); err != nil {
+		return Result{}, err
+	}
+	if rc.CaptureTo != nil {
+		if err := f.Capture(rc.Gen, rc.FatTree).Write(rc.CaptureTo); err != nil {
+			return Result{}, err
+		}
+	}
+	for node := 0; node < rc.Nodes; node++ {
+		node := node
+		k.Spawn(fmt.Sprintf("svc.%d", node), func(p *sim.Proc) { f.RunNode(p, node) })
+	}
+	if err := k.Run(); err != nil {
+		return Result{}, err
+	}
+	return f.Result(), nil
+}
+
+// Little-endian wire helpers (the codebase convention).
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}

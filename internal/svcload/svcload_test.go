@@ -1,0 +1,234 @@
+package svcload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hostmodel"
+	"repro/internal/sim"
+	"repro/internal/xport"
+)
+
+// buildFleet assembles the same cluster Run would, but hands back the
+// handler spaces for inspection.
+func buildFleet(t *testing.T, k *sim.Kernel, rc RunConfig) (*cluster.Platform, []*xport.HandlerSpace, *Fleet) {
+	t.Helper()
+	if rc.Gen == 0 {
+		rc.Gen = xport.GenFM2
+	}
+	if (rc.Service == ServiceConfig{}) {
+		rc.Service = DefaultServiceConfig()
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = rc.Nodes
+	if rc.FatTree {
+		cfg.Topology = cluster.FatTree
+	}
+	cfg.AutoShape()
+	if rc.Gen == xport.GenFM1 {
+		cfg.Profile = hostmodel.Sparc()
+	}
+	pl, err := cluster.TryNew(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := xport.AttachEndpoints(pl, xport.EndpointConfig{Gen: rc.Gen})
+	spaces := make([]*xport.HandlerSpace, rc.Nodes)
+	for i, ep := range eps {
+		spaces[i] = ep.Register(Service)
+	}
+	return pl, spaces, Attach(spaces, rc.Service)
+}
+
+func mustRun(t *testing.T, rc RunConfig) Result {
+	t.Helper()
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatalf("svcload.Run: %v", err)
+	}
+	if len(res.Errors) > 0 {
+		t.Fatalf("run reported errors: %v", res.Errors)
+	}
+	return res
+}
+
+func openWorkload(seed int64) Workload {
+	return Workload{
+		Mode:      ModeOpen,
+		Requests:  40,
+		RateRPS:   50_000,
+		Fanout:    2,
+		Keyspace:  64,
+		ZipfS:     1.1,
+		ReqBytes:  64,
+		RespBytes: 256,
+		Seed:      seed,
+	}
+}
+
+func TestOpenLoopCompletesAndReports(t *testing.T) {
+	res := mustRun(t, RunConfig{Nodes: 8, FatTree: true, Workload: openWorkload(1998)})
+	want := int64(8 * 40)
+	if res.Planned != want || res.Issued != want || res.Completed != want {
+		t.Fatalf("planned/issued/completed = %d/%d/%d, want all %d",
+			res.Planned, res.Issued, res.Completed, want)
+	}
+	if res.SubRequests != 2*want || res.Served != 2*want {
+		t.Fatalf("sub-requests/served = %d/%d, want both %d", res.SubRequests, res.Served, 2*want)
+	}
+	if res.P50NS <= 0 || res.P99NS < res.P50NS || res.P999NS < res.P99NS || res.MaxNS < res.P999NS {
+		t.Fatalf("quantiles not ordered: p50 %d p99 %d p999 %d max %d",
+			res.P50NS, res.P99NS, res.P999NS, res.MaxNS)
+	}
+	if res.GoodputRPS <= 0 || res.LastNS <= 0 {
+		t.Fatalf("goodput %f over %d ns", res.GoodputRPS, res.LastNS)
+	}
+	// The modeled service floor: fan-out of 2 at 2us service time means no
+	// request can complete faster than the service time.
+	if res.P50NS < int64(2*sim.Microsecond) {
+		t.Fatalf("p50 %dns below the 2us service-time floor", res.P50NS)
+	}
+}
+
+// Two runs at one seed must agree exactly, field for field — the property
+// every bench row and scenario report builds on.
+func TestRunDeterministicBothGenerations(t *testing.T) {
+	for _, gen := range []xport.Gen{xport.GenFM2, xport.GenFM1} {
+		rc := RunConfig{Gen: gen, Nodes: 6, Workload: openWorkload(7)}
+		a, b := mustRun(t, rc), mustRun(t, rc)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: repeated run diverged:\n%+v\n%+v", gen, a, b)
+		}
+		c := rc
+		c.Workload.Seed = 8
+		if reflect.DeepEqual(a, mustRun(t, c)) {
+			t.Fatalf("%v: different seeds produced identical results", gen)
+		}
+	}
+}
+
+// The two generations must NOT agree with each other: FM1's staging copies
+// are a real latency cost the tail sees.
+func TestGenerationsDiffer(t *testing.T) {
+	wl := openWorkload(3)
+	fm2 := mustRun(t, RunConfig{Gen: xport.GenFM2, Nodes: 6, Workload: wl})
+	fm1 := mustRun(t, RunConfig{Gen: xport.GenFM1, Nodes: 6, Workload: wl})
+	if fm2.P99NS == fm1.P99NS && fm2.MeanUS == fm1.MeanUS {
+		t.Fatal("fm1 and fm2 report identical latency; the generations should price differently")
+	}
+	if fm2.Completed != fm1.Completed {
+		t.Fatalf("completion counts differ across generations: %d vs %d", fm2.Completed, fm1.Completed)
+	}
+}
+
+func TestClosedLoopKeepsOneOutstanding(t *testing.T) {
+	res := mustRun(t, RunConfig{Nodes: 4, Workload: Workload{
+		Mode: ModeClosed, Requests: 25, Fanout: 1, Keyspace: 16, ZipfS: 0.9,
+		RespBytes: 128, Seed: 11,
+	}})
+	if res.Completed != 100 {
+		t.Fatalf("completed %d, want 100", res.Completed)
+	}
+	if res.Mode != string(ModeClosed) {
+		t.Fatalf("mode %q", res.Mode)
+	}
+	// Closed loop self-paces: mean latency must stay near the service floor
+	// (no queueing collapse is possible with one outstanding per client).
+	if res.MeanUS > 200 {
+		t.Fatalf("closed-loop mean %.1fus, implausibly high", res.MeanUS)
+	}
+}
+
+func TestIncastConcentratesOnOneShard(t *testing.T) {
+	res := mustRun(t, RunConfig{Nodes: 8, FatTree: true, Workload: Workload{
+		Mode: ModeIncast, Requests: 12, RateRPS: 20_000, Fanout: 1,
+		RespBytes: 1024, Seed: 5,
+	}})
+	if res.Completed != 8*12 {
+		t.Fatalf("completed %d, want %d", res.Completed, 8*12)
+	}
+	// Every request targets key 0: one shard serves everything.
+	if res.HotServed != 8*12 || res.ColdServed != 0 {
+		t.Fatalf("hot/cold served %d/%d, want %d/0", res.HotServed, res.ColdServed, 8*12)
+	}
+	// Synchronized fan-in has to cost more than an uncontended request.
+	if res.P99NS <= int64(4*sim.Microsecond) {
+		t.Fatalf("incast p99 %dns shows no queueing", res.P99NS)
+	}
+}
+
+// Zipf skew must surface as shard imbalance in the served counters.
+func TestSkewShowsInShardCounters(t *testing.T) {
+	run := func(s float64) Result {
+		wl := openWorkload(9)
+		wl.Fanout = 1
+		wl.ZipfS = s
+		wl.Requests = 100
+		return mustRun(t, RunConfig{Nodes: 8, Workload: wl})
+	}
+	uniform, skewed := run(0), run(1.3)
+	if skewed.HotServed <= uniform.HotServed {
+		t.Fatalf("zipf s=1.3 hot shard served %d <= uniform %d", skewed.HotServed, uniform.HotServed)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	bad := []Workload{
+		{Mode: "bogus", Requests: 1, RateRPS: 1, Fanout: 1},
+		{Requests: 0, RateRPS: 1, Fanout: 1},
+		{Requests: 1, RateRPS: 0, Fanout: 1}, // open needs a rate
+		{Requests: 1, RateRPS: 1, Fanout: 9}, // fanout > nodes
+		{Requests: 1, RateRPS: 1, Fanout: 1, ZipfS: -1},
+		{Requests: 1, RateRPS: 1, Fanout: 1, ReqBytes: -4},
+		{Requests: 1, RateRPS: 1, Fanout: 1, Drain: -sim.Microsecond},
+	}
+	for i, wl := range bad {
+		if _, err := Run(RunConfig{Nodes: 4, Workload: wl}); err == nil {
+			t.Errorf("workload %d accepted, want error", i)
+		}
+	}
+	if _, err := Run(RunConfig{Nodes: 1, Workload: openWorkload(1)}); err == nil {
+		t.Error("single-node cluster accepted")
+	}
+}
+
+// Per-service endpoint accounting must see the RPC traffic on both sides.
+func TestEndpointAccountingSeesRPC(t *testing.T) {
+	// Run manually (not via Run) to keep the spaces for inspection.
+	rc := RunConfig{Nodes: 4, Workload: openWorkload(21)}
+	k := sim.NewKernel()
+	pl, spaces, f := buildFleet(t, k, rc)
+	_ = pl
+	if err := f.Plan(rc.Workload); err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < rc.Nodes; node++ {
+		node := node
+		k.Spawn("svc", func(p *sim.Proc) { f.RunNode(p, node) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var sentMsgs, recvMsgs, sentBytes int64
+	for _, sp := range spaces {
+		st := sp.Stats()
+		sentMsgs += st.SentMsgs
+		sentBytes += st.SentBytes
+		recvMsgs += st.Msgs
+	}
+	res := f.Result()
+	// Every sub-request and sub-response is one RPC-service message.
+	wantMsgs := res.SubRequests + res.Served
+	if sentMsgs != wantMsgs {
+		t.Fatalf("service sent-msg accounting %d, want %d", sentMsgs, wantMsgs)
+	}
+	if recvMsgs != wantMsgs {
+		t.Fatalf("service recv-msg accounting %d, want %d", recvMsgs, wantMsgs)
+	}
+	wantBytes := res.SubRequests*int64(reqHeaderSize+rc.Workload.ReqBytes) +
+		res.Served*int64(respHeaderSize+rc.Workload.RespBytes)
+	if sentBytes != wantBytes {
+		t.Fatalf("service sent-byte accounting %d, want %d", sentBytes, wantBytes)
+	}
+}

@@ -1,0 +1,107 @@
+package svcload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/xport"
+)
+
+// Capture, then replay: the replayed run must reproduce the original
+// result exactly, and re-serializing the parsed trace must reproduce the
+// file byte for byte.
+func TestCaptureReplayIdentity(t *testing.T) {
+	for _, gen := range []xport.Gen{xport.GenFM2, xport.GenFM1} {
+		var buf bytes.Buffer
+		rc := RunConfig{Gen: gen, Nodes: 6, FatTree: true,
+			Workload: openWorkload(1998), CaptureTo: &buf}
+		orig := mustRun(t, rc)
+
+		captured := append([]byte(nil), buf.Bytes()...)
+		tr, err := ReadTrace(bytes.NewReader(captured))
+		if err != nil {
+			t.Fatalf("%v: ReadTrace: %v", gen, err)
+		}
+		if tr.Meta.Gen != gen.String() || tr.Meta.Nodes != 6 || !tr.Meta.FatTree {
+			t.Fatalf("%v: meta round-trip: %+v", gen, tr.Meta)
+		}
+
+		replayed, err := RunTrace(tr)
+		if err != nil {
+			t.Fatalf("%v: RunTrace: %v", gen, err)
+		}
+		if !reflect.DeepEqual(orig, replayed) {
+			t.Fatalf("%v: replay diverged from capture:\n%+v\n%+v", gen, orig, replayed)
+		}
+
+		var rt bytes.Buffer
+		if err := tr.Write(&rt); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(captured, rt.Bytes()) {
+			t.Fatalf("%v: trace did not round-trip byte-identically", gen)
+		}
+	}
+}
+
+func TestTraceFileShape(t *testing.T) {
+	var buf bytes.Buffer
+	wl := openWorkload(4)
+	wl.Requests = 3
+	mustRun(t, RunConfig{Nodes: 4, Workload: wl, CaptureTo: &buf})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if want := 1 + 4*3; len(lines) != want {
+		t.Fatalf("trace has %d lines, want %d (meta + one per request)", len(lines), want)
+	}
+	if !strings.Contains(lines[0], TraceFormat) {
+		t.Fatalf("header line missing format tag: %s", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, `"t_ns"`) || !strings.Contains(l, `"fanout"`) {
+			t.Fatalf("record missing fields: %s", l)
+		}
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	meta := `{"format":"fmnet-svctrace/1","fm":"fm2","nodes":4,"mode":"open","requests":1,"service_ns":2000}`
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "not json\n",
+		"wrong format":  `{"format":"other/9","nodes":4,"mode":"open"}` + "\n",
+		"too few nodes": `{"format":"fmnet-svctrace/1","nodes":1,"mode":"open"}` + "\n",
+		"client range":  meta + "\n" + `{"t_ns":5,"client":9,"seq":0,"key":0,"fanout":1}` + "\n",
+		"seq disorder":  meta + "\n" + `{"t_ns":5,"client":0,"seq":1,"key":0,"fanout":1}` + "\n",
+		"bad fanout":    meta + "\n" + `{"t_ns":5,"client":0,"seq":0,"key":0,"fanout":0}` + "\n",
+		"negative time": meta + "\n" + `{"t_ns":-5,"client":0,"seq":0,"key":0,"fanout":1}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted, want error", name)
+		}
+	}
+	// A well-formed trace whose fanout exceeds the fleet must fail at plan.
+	in := meta + "\n" + `{"t_ns":5,"client":0,"seq":0,"key":0,"fanout":4}` + "\n"
+	tr, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Meta.Nodes = 2
+	tr.sched = tr.sched[:2]
+	if _, err := RunTrace(tr); err == nil {
+		t.Error("fanout 4 on a 2-node fleet accepted")
+	}
+}
+
+func TestTraceEmptyRejected(t *testing.T) {
+	meta := `{"format":"fmnet-svctrace/1","fm":"fm2","nodes":4,"mode":"open","requests":0,"service_ns":2000}`
+	tr, err := ReadTrace(strings.NewReader(meta + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTrace(tr); err == nil {
+		t.Error("request-free trace accepted")
+	}
+}

@@ -11,7 +11,10 @@
 // reproducible.
 package trafficgen
 
-import "math/rand"
+import (
+	"math"
+	"math/rand"
+)
 
 // Dist is a message-size distribution.
 type Dist struct {
@@ -132,3 +135,97 @@ func SUNYCampus() Dist {
 func All() []Dist {
 	return []Dist{GusellaEthernet(), KayPasqualeTCP(), KayPasqualeUDP(), SUNYCampus()}
 }
+
+// ZipfSampler draws keys from a Zipf(s) popularity distribution over
+// [0, n): key k has probability proportional to 1/(k+1)^s, so key 0 is the
+// hottest. Unlike math/rand's Zipf it accepts any s >= 0 (s = 0 is uniform,
+// datacenter key skews live around s ~ 0.9-1.3) and samples by CDF
+// inversion over a precomputed table, so draws are exact and deterministic
+// for a fixed seed regardless of runtime internals.
+type ZipfSampler struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a seeded Zipf(s) sampler over n keys. Panics on n < 1 or
+// s < 0: a silent fallback would skew every downstream tail-latency number.
+func NewZipf(seed int64, n int, s float64) *ZipfSampler {
+	if n < 1 {
+		panic("trafficgen: zipf needs at least one key")
+	}
+	if s < 0 {
+		panic("trafficgen: zipf exponent must be >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[n-1] = 1 // guard against accumulated rounding
+	return &ZipfSampler{cdf: cdf, rng: rand.New(rand.NewSource(seed))}
+}
+
+// pow is math.Pow with the two exponents the hot path actually sees
+// special-cased, so uniform (s=0) and classic Zipf (s=1) cost one divide.
+func pow(base, exp float64) float64 {
+	switch exp {
+	case 0:
+		return 1
+	case 1:
+		return base
+	}
+	return math.Pow(base, exp)
+}
+
+// Next draws one key in [0, n).
+func (z *ZipfSampler) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first CDF entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Keys reports the keyspace size.
+func (z *ZipfSampler) Keys() int { return len(z.cdf) }
+
+// Prob reports key k's analytic probability.
+func (z *ZipfSampler) Prob(k int) float64 {
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}
+
+// ExpSampler draws exponentially distributed values with the given mean:
+// the inter-arrival gaps of a Poisson process, the open-loop arrival model
+// of every service-workload bench. Deterministic for a fixed seed.
+type ExpSampler struct {
+	mean float64
+	rng  *rand.Rand
+}
+
+// NewExp builds a seeded exponential sampler. Panics on mean <= 0.
+func NewExp(seed int64, mean float64) *ExpSampler {
+	if mean <= 0 {
+		panic("trafficgen: exponential mean must be > 0")
+	}
+	return &ExpSampler{mean: mean, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws one value (mean * standard exponential).
+func (e *ExpSampler) Next() float64 { return e.mean * e.rng.ExpFloat64() }
+
+// Mean reports the configured mean.
+func (e *ExpSampler) Mean() float64 { return e.mean }

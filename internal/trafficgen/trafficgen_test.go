@@ -71,6 +71,92 @@ func TestSamplerDeterministic(t *testing.T) {
 	}
 }
 
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(1998, 512, 1.1), NewZipf(1998, 512, 1.1)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different zipf keys")
+		}
+	}
+	c := NewZipf(1999, 512, 1.1)
+	a2 := NewZipf(1998, 512, 1.1)
+	same := true
+	for i := 0; i < 1000; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical zipf streams")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 64, 40000
+	share := func(s float64) float64 {
+		z := NewZipf(7, n, s)
+		hot := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() == 0 {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	// s = 0 is uniform: key 0 gets ~1/n.
+	if got := share(0); got < 0.5/n || got > 2.0/n {
+		t.Errorf("uniform hot-key share %.4f, want ~%.4f", got, 1.0/n)
+	}
+	// Skew grows with s, and the sampled share tracks the analytic one.
+	s09, s14 := share(0.9), share(1.4)
+	if s09 <= 2.0/n {
+		t.Errorf("s=0.9 hot-key share %.4f, want visibly skewed", s09)
+	}
+	if s14 <= s09 {
+		t.Errorf("hot-key share did not grow with s: s=0.9 %.4f, s=1.4 %.4f", s09, s14)
+	}
+	z := NewZipf(7, n, 1.4)
+	if want := z.Prob(0); s14 < want-0.03 || s14 > want+0.03 {
+		t.Errorf("s=1.4 sampled hot share %.4f vs analytic %.4f", s14, want)
+	}
+}
+
+func TestZipfSupportAndProb(t *testing.T) {
+	z := NewZipf(3, 17, 0.8)
+	sum := 0.0
+	for k := 0; k < z.Keys(); k++ {
+		sum += z.Prob(k)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("probabilities sum to %.4f", sum)
+	}
+	for i := 0; i < 5000; i++ {
+		if k := z.Next(); k < 0 || k >= 17 {
+			t.Fatalf("key %d outside [0,17)", k)
+		}
+	}
+}
+
+func TestExpSampler(t *testing.T) {
+	a, b := NewExp(11, 50.0), NewExp(11, 50.0)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatal("same seed produced different exponential draws")
+		}
+		if va < 0 {
+			t.Fatalf("negative gap %f", va)
+		}
+		sum += va
+	}
+	if mean := sum / n; mean < 48 || mean > 52 {
+		t.Errorf("sampled mean %.2f, want ~50", mean)
+	}
+}
+
 // Property: samples always fall within the distribution's support.
 func TestPropertySamplesInSupport(t *testing.T) {
 	f := func(seed int64) bool {

@@ -32,6 +32,11 @@ const maxServices = int(^HandlerID(0)/SpaceSize) - 1
 type ServiceStats struct {
 	Msgs  int64 // messages dispatched to this service's handlers
 	Bytes int64 // payload bytes consumed (received or discarded) by them
+	// Send-side counters, charged when the service successfully opens a
+	// message: per-request accounting for layers (RPC, benches) that bill
+	// traffic to the service that generated it.
+	SentMsgs  int64
+	SentBytes int64
 }
 
 // Endpoint is one node's shared attachment to the messaging substrate:
@@ -260,7 +265,12 @@ func (hs *HandlerSpace) BeginMessage(p *sim.Proc, dst, size int, h HandlerID) (S
 		return nil, fmt.Errorf("xport: handler id %d outside service %q slab (max %d)",
 			h, hs.name, SpaceSize-1)
 	}
-	return hs.ep.t.BeginMessage(p, dst, size, hs.base+h)
+	s, err := hs.ep.t.BeginMessage(p, dst, size, hs.base+h)
+	if err == nil {
+		hs.stats.SentMsgs++
+		hs.stats.SentBytes += int64(size)
+	}
+	return s, err
 }
 
 // Extract services the shared attachment on behalf of this service; see
